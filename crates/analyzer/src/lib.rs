@@ -1,0 +1,290 @@
+//! The analyzer (§III-C of the paper).
+//!
+//! Takes downloaded compressed layer blobs, decompresses and extracts each
+//! tarball, walks the entries, and produces the paper's two profile kinds:
+//!
+//! * **layer profiles** — digest, FLS (sum of contained file sizes), CLS
+//!   (compressed blob size), directory count, file count, maximum
+//!   directory depth, and per-file metadata (name, sha256 digest, type by
+//!   magic number, size),
+//! * **image profiles** — manifest-driven aggregation over the referenced
+//!   layer profiles (FIS, CIS, total file/dir counts).
+//!
+//! Layers are analyzed in parallel; each layer is independent.
+
+use dhub_compress::gzip_decompress;
+use dhub_digest::FxHashMap;
+use dhub_model::{
+    profile::path_depth, Digest, FileRecord, ImageProfile, LayerProfile, RepoName,
+};
+use dhub_tar::{read_archive, EntryKind};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Analysis errors for a single layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// Blob is not a valid gzip member.
+    BadGzip(String),
+    /// Decompressed payload is not a valid tar archive.
+    BadTar(String),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::BadGzip(e) => write!(f, "layer gunzip failed: {e}"),
+            AnalyzeError::BadTar(e) => write!(f, "layer untar failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Analyzes one compressed layer blob into a [`LayerProfile`].
+pub fn analyze_layer(digest: Digest, blob: &[u8]) -> Result<LayerProfile, AnalyzeError> {
+    let tar = gzip_decompress(blob).map_err(|e| AnalyzeError::BadGzip(e.to_string()))?;
+    let entries = read_archive(&tar).map_err(|e| AnalyzeError::BadTar(e.to_string()))?;
+
+    let mut dirs: HashSet<&str> = HashSet::new();
+    let mut files = Vec::new();
+    let mut fls = 0u64;
+    let mut max_depth = 0u64;
+
+    for entry in &entries {
+        let path = entry.path.trim_end_matches('/');
+        max_depth = max_depth.max(path_depth(path));
+        match &entry.kind {
+            EntryKind::Dir => {
+                dirs.insert(path);
+            }
+            EntryKind::File(data) => {
+                // Parent directories exist even when the tar omits their
+                // entries (common in real layers).
+                collect_ancestors(path, &mut dirs);
+                fls += data.len() as u64;
+                files.push(FileRecord {
+                    path: path.to_string(),
+                    digest: Digest::of(data),
+                    kind: dhub_magic::classify(path, data),
+                    size: data.len() as u64,
+                });
+            }
+            EntryKind::Symlink(_) | EntryKind::Hardlink(_) => {
+                collect_ancestors(path, &mut dirs);
+            }
+        }
+    }
+    // Directory entries also imply their ancestors.
+    let explicit: Vec<&str> = dirs.iter().copied().collect();
+    let mut all_dirs: HashSet<String> = explicit.iter().map(|s| s.to_string()).collect();
+    for d in explicit {
+        let mut prefix = String::new();
+        for comp in d.split('/').filter(|c| !c.is_empty()) {
+            if !prefix.is_empty() {
+                prefix.push('/');
+            }
+            prefix.push_str(comp);
+            all_dirs.insert(prefix.clone());
+        }
+    }
+
+    Ok(LayerProfile {
+        digest,
+        fls,
+        cls: blob.len() as u64,
+        dir_count: all_dirs.len() as u64,
+        file_count: files.len() as u64,
+        max_depth,
+        files,
+    })
+}
+
+fn collect_ancestors<'a>(path: &'a str, dirs: &mut HashSet<&'a str>) {
+    let mut end = path.len();
+    while let Some(pos) = path[..end].rfind('/') {
+        dirs.insert(&path[..pos]);
+        end = pos;
+    }
+}
+
+/// Outcome of analyzing a set of layers.
+pub struct AnalysisResult {
+    /// Successfully analyzed layer profiles, keyed by digest.
+    pub layers: FxHashMap<Digest, LayerProfile>,
+    /// Layers that failed to decode.
+    pub errors: Vec<(Digest, AnalyzeError)>,
+}
+
+/// Analyzes all layers in parallel.
+pub fn analyze_all(layers: &[(Digest, Arc<Vec<u8>>)], threads: usize) -> AnalysisResult {
+    let results = dhub_par::par_map(threads, layers, |(digest, blob)| {
+        (*digest, analyze_layer(*digest, blob))
+    });
+    let mut map = FxHashMap::default();
+    let mut errors = Vec::new();
+    for (digest, r) in results {
+        match r {
+            Ok(profile) => {
+                map.insert(digest, profile);
+            }
+            Err(e) => errors.push((digest, e)),
+        }
+    }
+    AnalysisResult { layers: map, errors }
+}
+
+/// A downloaded image reference the aggregator needs (repo + manifest).
+pub struct ImageInput {
+    pub repo: RepoName,
+    pub manifest_digest: Digest,
+    /// `(layer digest, compressed size)` pairs from the manifest.
+    pub layers: Vec<(Digest, u64)>,
+}
+
+/// Builds image profiles by aggregating layer profiles per manifest
+/// (§III-C: the image profile holds pointers to its layer profiles).
+pub fn image_profiles(
+    images: &[ImageInput],
+    layers: &FxHashMap<Digest, LayerProfile>,
+) -> Vec<ImageProfile> {
+    images
+        .iter()
+        .map(|img| {
+            let mut fis = 0u64;
+            let mut cis = 0u64;
+            let mut file_count = 0u64;
+            let mut dir_count = 0u64;
+            for (d, cls) in &img.layers {
+                cis += cls;
+                if let Some(lp) = layers.get(d) {
+                    fis += lp.fls;
+                    file_count += lp.file_count;
+                    dir_count += lp.dir_count;
+                }
+            }
+            ImageProfile {
+                repo: img.repo.clone(),
+                manifest_digest: img.manifest_digest,
+                layers: img.layers.iter().map(|(d, _)| *d).collect(),
+                fis,
+                cis,
+                dir_count,
+                file_count,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_compress::{gzip_compress, CompressOptions};
+    use dhub_model::FileKind;
+    use dhub_tar::{write_archive, TarEntry};
+
+    fn layer_blob(entries: &[TarEntry]) -> (Digest, Vec<u8>) {
+        let tar = write_archive(entries);
+        let blob = gzip_compress(&tar, &CompressOptions::fast());
+        (Digest::of(&blob), blob)
+    }
+
+    #[test]
+    fn profiles_simple_layer() {
+        let (digest, blob) = layer_blob(&[
+            TarEntry::dir("usr"),
+            TarEntry::dir("usr/bin"),
+            TarEntry::file("usr/bin/tool.py", b"#!/usr/bin/env python\nprint(1)\n".to_vec()),
+            TarEntry::file("etc/conf", b"plain text config\n".to_vec()),
+        ]);
+        let p = analyze_layer(digest, &blob).unwrap();
+        assert_eq!(p.file_count, 2);
+        // usr, usr/bin, etc.
+        assert_eq!(p.dir_count, 3);
+        assert_eq!(p.max_depth, 3);
+        assert_eq!(p.fls, 31 + 18);
+        assert_eq!(p.cls, blob.len() as u64);
+        assert!(p.compression_ratio() > 0.0);
+        let kinds: Vec<FileKind> = p.files.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FileKind::PythonScript));
+        assert!(kinds.contains(&FileKind::AsciiText));
+    }
+
+    #[test]
+    fn implied_parent_dirs_counted() {
+        let (digest, blob) =
+            layer_blob(&[TarEntry::file("a/b/c/file.txt", b"text content here\n".to_vec())]);
+        let p = analyze_layer(digest, &blob).unwrap();
+        assert_eq!(p.dir_count, 3, "a, a/b, a/b/c");
+        assert_eq!(p.max_depth, 4);
+    }
+
+    #[test]
+    fn empty_layer_profile() {
+        let (digest, blob) = layer_blob(&[]);
+        let p = analyze_layer(digest, &blob).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.fls, 0);
+        assert_eq!(p.dir_count, 0);
+        assert!(p.cls > 0);
+    }
+
+    #[test]
+    fn file_digests_enable_dedup() {
+        let same = b"identical content".to_vec();
+        let (digest, blob) = layer_blob(&[
+            TarEntry::file("a/x", same.clone()),
+            TarEntry::file("b/y", same.clone()),
+            TarEntry::file("c/z", b"different".to_vec()),
+        ]);
+        let p = analyze_layer(digest, &blob).unwrap();
+        assert_eq!(p.files[0].digest, p.files[1].digest);
+        assert_ne!(p.files[0].digest, p.files[2].digest);
+    }
+
+    #[test]
+    fn corrupt_blob_reports_error() {
+        let err = analyze_layer(Digest::of(b"x"), b"not gzip at all").unwrap_err();
+        assert!(matches!(err, AnalyzeError::BadGzip(_)));
+    }
+
+    #[test]
+    fn corrupt_tar_reports_error() {
+        let garbage = gzip_compress(&[0xAAu8; 700], &CompressOptions::fast());
+        let err = analyze_layer(Digest::of(b"x"), &garbage).unwrap_err();
+        assert!(matches!(err, AnalyzeError::BadTar(_)));
+    }
+
+    #[test]
+    fn analyze_all_partitions_errors() {
+        let (d1, b1) = layer_blob(&[TarEntry::file("f", b"data".to_vec())]);
+        let bad = (Digest::of(b"bad"), Arc::new(b"junk".to_vec()));
+        let layers = vec![(d1, Arc::new(b1)), bad];
+        let res = analyze_all(&layers, 2);
+        assert_eq!(res.layers.len(), 1);
+        assert_eq!(res.errors.len(), 1);
+        assert!(res.layers.contains_key(&d1));
+    }
+
+    #[test]
+    fn image_profile_aggregates() {
+        let (d1, b1) = layer_blob(&[TarEntry::file("a/f1", vec![1; 100])]);
+        let (d2, b2) = layer_blob(&[
+            TarEntry::file("b/f2", vec![2; 50]),
+            TarEntry::file("b/f3", vec![3; 25]),
+        ]);
+        let res = analyze_all(&[(d1, Arc::new(b1.clone())), (d2, Arc::new(b2.clone()))], 2);
+        let input = ImageInput {
+            repo: RepoName::official("t"),
+            manifest_digest: Digest::of(b"m"),
+            layers: vec![(d1, b1.len() as u64), (d2, b2.len() as u64)],
+        };
+        let profiles = image_profiles(&[input], &res.layers);
+        let img = &profiles[0];
+        assert_eq!(img.fis, 175);
+        assert_eq!(img.cis, (b1.len() + b2.len()) as u64);
+        assert_eq!(img.file_count, 3);
+        assert_eq!(img.dir_count, 2);
+        assert_eq!(img.layer_count(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//!
+//! * sharded vs single-mutex dedup counters,
+//! * parallel vs sequential layer analysis,
+//! * the paper's §IV-A proposal — store small layers uncompressed — as a
+//!   pull-latency model sweep,
+//! * LRU caching driven by the measured popularity skew (§IV-B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhub_analyzer::analyze_layer;
+use dhub_model::Digest;
+use dhub_par::sharded::CoarseMap;
+use dhub_par::ShardedMap;
+use dhub_registry::NetworkModel;
+use dhub_synth::layergen::build_app_layer;
+use dhub_synth::pool::FilePool;
+use dhub_synth::SynthConfig;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn pool() -> &'static FilePool {
+    static POOL: OnceLock<FilePool> = OnceLock::new();
+    POOL.get_or_init(|| FilePool::build(&SynthConfig::default_scale(5).with_repos(200), 300_000))
+}
+
+fn layers() -> &'static Vec<(Digest, Vec<u8>)> {
+    static LAYERS: OnceLock<Vec<(Digest, Vec<u8>)>> = OnceLock::new();
+    LAYERS.get_or_init(|| {
+        let p = pool();
+        dhub_par::par_map_range(dhub_par::default_threads(), 0..96, |i| {
+            let l = build_app_layer(p, 0xAB1A + i as u64);
+            (l.digest, l.blob)
+        })
+    })
+}
+
+/// Sharded vs coarse-lock concurrent counting (the dedup index design).
+fn bench_sharded(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) % 50_000).collect();
+    let threads = dhub_par::default_threads();
+    let mut g = c.benchmark_group("dedup_counter");
+    g.bench_function("bench_sharded_map_update", |b| {
+        b.iter(|| {
+            let m: ShardedMap<u64, u64> = ShardedMap::new(64);
+            dhub_par::par_for_each(threads, &keys, |&k| m.update(k, |v| *v += 1));
+            std::hint::black_box(m.len())
+        })
+    });
+    g.bench_function("bench_coarse_map_update", |b| {
+        b.iter(|| {
+            let m: CoarseMap<u64, u64> = CoarseMap::new();
+            dhub_par::par_for_each(threads, &keys, |&k| m.update(k, |v| *v += 1));
+            std::hint::black_box(m.len())
+        })
+    });
+    g.finish();
+}
+
+/// Parallel vs sequential layer analysis (the §III pipeline ablation).
+fn bench_pipeline(c: &mut Criterion) {
+    let ls = layers();
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("bench_analyze_sequential", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for (d, blob) in ls.iter() {
+                n += analyze_layer(*d, blob).unwrap().file_count;
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.bench_function("bench_analyze_parallel", |b| {
+        b.iter(|| {
+            let counts = dhub_par::par_map(dhub_par::default_threads(), ls, |(d, blob)| {
+                analyze_layer(*d, blob).unwrap().file_count
+            });
+            std::hint::black_box(counts.iter().sum::<u64>())
+        })
+    });
+    g.finish();
+}
+
+/// The paper's §IV-A trade-off: pull latency with layers always compressed
+/// vs stored uncompressed below a size threshold. Transfer is simulated
+/// with the WAN model; decompression cost is measured for real.
+fn bench_pull_policy(c: &mut Criterion) {
+    let ls = layers();
+    let net = NetworkModel::wan();
+    // Decompressed counterparts for the uncompressed-store policy.
+    let raw: Vec<Vec<u8>> =
+        ls.iter().map(|(_, blob)| dhub_compress::gzip_decompress(blob).unwrap()).collect();
+
+    let mut g = c.benchmark_group("pull_policy");
+    g.sample_size(10);
+    for threshold in [0u64, 4 << 10, 64 << 10, u64::MAX] {
+        let name = match threshold {
+            0 => "bench_pull_always_compressed".to_string(),
+            u64::MAX => "bench_pull_never_compressed".to_string(),
+            t => format!("bench_pull_uncompressed_below_{}k", t >> 10),
+        };
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut sim = Duration::ZERO;
+                for (i, (_, blob)) in ls.iter().enumerate() {
+                    let small = (raw[i].len() as u64) < threshold;
+                    if small {
+                        // Stored uncompressed: bigger transfer, no inflate.
+                        sim += net.transfer_time(raw[i].len() as u64);
+                        std::hint::black_box(&raw[i]);
+                    } else {
+                        sim += net.transfer_time(blob.len() as u64);
+                        std::hint::black_box(dhub_compress::gzip_decompress(blob).unwrap());
+                    }
+                }
+                std::hint::black_box(sim)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// LRU cache hit ratio computation over a popularity-skewed pull trace.
+fn bench_cache(c: &mut Criterion) {
+    use dhub_stats::{Categorical, Rng};
+    let repos = 2_000usize;
+    // Zipf-ish popularity like Fig. 8.
+    let weights: Vec<f64> = (0..repos).map(|i| 1.0 / (i as f64 + 1.0).powf(0.9)).collect();
+    let dist = Categorical::new(&weights);
+    let mut rng = Rng::new(99);
+    let trace: Vec<usize> = (0..100_000).map(|_| dist.sample(&mut rng)).collect();
+
+    let mut g = c.benchmark_group("cache");
+    for cap in [20usize, 100, 400] {
+        g.bench_function(format!("bench_cache_lru_{cap}"), |b| {
+            b.iter(|| {
+                let mut entries: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+                let mut tick = 0u64;
+                let mut hits = 0u64;
+                for &r in &trace {
+                    tick += 1;
+                    if entries.contains_key(&r) {
+                        hits += 1;
+                    }
+                    entries.insert(r, tick);
+                    if entries.len() > cap {
+                        let (&lru, _) = entries.iter().min_by_key(|(_, &t)| t).unwrap();
+                        entries.remove(&lru);
+                    }
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ingest throughput of the file-level dedup store vs plain blob storage —
+/// the operational cost of the paper's proposed optimization.
+fn bench_dedupstore(c: &mut Criterion) {
+    use dhub_dedupstore::DedupStore;
+    let ls = layers();
+    let total_bytes: u64 = ls.iter().map(|(_, b)| b.len() as u64).sum();
+    let mut g = c.benchmark_group("dedupstore");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Bytes(total_bytes));
+    g.bench_function("bench_dedupstore_ingest", |b| {
+        b.iter(|| {
+            let store = DedupStore::new();
+            for (d, blob) in ls.iter() {
+                let _ = store.ingest_layer(*d, blob);
+            }
+            std::hint::black_box(store.stats().dedup_factor())
+        })
+    });
+    g.bench_function("bench_plain_blob_store", |b| {
+        b.iter(|| {
+            // Baseline: content-addressed blob storage only (layer sharing,
+            // no file-level dedup).
+            let store = dhub_registry::BlobStore::new();
+            for (_, blob) in ls.iter() {
+                store.put(blob.clone());
+            }
+            std::hint::black_box(store.total_bytes())
+        })
+    });
+    // Reconstruction cost (the read-path price of recipes).
+    let store = DedupStore::new();
+    for (d, blob) in ls.iter() {
+        let _ = store.ingest_layer(*d, blob);
+    }
+    let first = ls[0].0;
+    g.bench_function("bench_dedupstore_reconstruct", |b| {
+        b.iter(|| std::hint::black_box(store.reconstruct_tar(&first).unwrap()))
+    });
+    g.finish();
+}
+
+/// Perfect-layer carving cost across fold thresholds (Ext. C1's sweep).
+fn bench_carve(c: &mut Criterion) {
+    use dhub_carve::{carve, CarveConfig};
+    let ls = layers();
+    // Build a small image population over the generated layers.
+    let profiles: dhub_digest::FxHashMap<_, _> = ls
+        .iter()
+        .map(|(d, blob)| (*d, dhub_analyzer::analyze_layer(*d, blob).unwrap()))
+        .collect();
+    let images: Vec<Vec<Digest>> = ls.chunks(4).map(|c| c.iter().map(|(d, _)| *d).collect()).collect();
+    let mut g = c.benchmark_group("carve");
+    g.sample_size(10);
+    for threshold in [0u64, 64 << 10] {
+        g.bench_function(format!("bench_carve_fold_{}k", threshold >> 10), |b| {
+            b.iter(|| {
+                std::hint::black_box(carve(&images, &profiles, &CarveConfig { min_group_bytes: threshold }).stored_bytes)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sharded, bench_pipeline, bench_pull_policy, bench_cache, bench_dedupstore, bench_carve
+}
+criterion_main!(ablations);

@@ -1,0 +1,95 @@
+//! One benchmark per paper artifact (Table 1, Figs. 3–29, Table 2).
+//!
+//! Each `bench_figXX` regenerates its figure from a shared pipeline run
+//! (hub generation + crawl/download/analyze happen once per process) and
+//! **prints the figure's rows and anchors** the first time it runs, so
+//! `cargo bench -p dhub-bench --bench paper_figures` both times the
+//! analyses and emits the full paper-vs-measured report that EXPERIMENTS.md
+//! is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhub_study::figures;
+use dhub_study::pipeline::{run_study, StudyData};
+use dhub_study::FigureReport;
+use dhub_synth::{generate_hub, SynthConfig};
+use std::sync::OnceLock;
+
+/// Benchmark scale: large enough for stable distribution shapes.
+fn data() -> &'static StudyData {
+    static DATA: OnceLock<StudyData> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let repos = std::env::var("DHUB_BENCH_REPOS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(250);
+        let cfg = SynthConfig::default_scale(20170530).with_repos(repos);
+        eprintln!("[bench] generating hub: {repos} repos, seed {} ...", cfg.seed);
+        let t = std::time::Instant::now();
+        let hub = generate_hub(&cfg);
+        eprintln!("[bench] hub ready in {:.1?}; running pipeline ...", t.elapsed());
+        let t = std::time::Instant::now();
+        let d = run_study(&hub, dhub_par::default_threads());
+        eprintln!("[bench] pipeline done in {:.1?}", t.elapsed());
+        d
+    })
+}
+
+fn bench_artifact(c: &mut Criterion, name: &str, f: fn(&StudyData) -> FigureReport) {
+    let d = data();
+    // Print the regenerated figure once per process so bench output doubles
+    // as the reproduction report.
+    println!("{}", f(d).render());
+    c.bench_function(name, |b| b.iter(|| std::hint::black_box(f(d))));
+}
+
+macro_rules! figure_benches {
+    ($($fn_name:ident => $bench:literal, $figure:path;)*) => {
+        $(fn $fn_name(c: &mut Criterion) {
+            bench_artifact(c, $bench, $figure);
+        })*
+    };
+}
+
+figure_benches! {
+    bench_table1 => "bench_table1_dataset_summary", figures::table1;
+    bench_fig03 => "bench_fig03_layer_sizes", figures::fig03;
+    bench_fig04 => "bench_fig04_compression_ratio", figures::fig04;
+    bench_fig05 => "bench_fig05_files_per_layer", figures::fig05;
+    bench_fig06 => "bench_fig06_dirs_per_layer", figures::fig06;
+    bench_fig07 => "bench_fig07_layer_depth", figures::fig07;
+    bench_fig08 => "bench_fig08_popularity", figures::fig08;
+    bench_fig09 => "bench_fig09_image_sizes", figures::fig09;
+    bench_fig10 => "bench_fig10_layers_per_image", figures::fig10;
+    bench_fig11 => "bench_fig11_dirs_per_image", figures::fig11;
+    bench_fig12 => "bench_fig12_files_per_image", figures::fig12;
+    bench_fig13 => "bench_fig13_taxonomy", figures::fig13;
+    bench_fig14 => "bench_fig14_type_group_shares", figures::fig14;
+    bench_fig15 => "bench_fig15_avg_size_by_group", figures::fig15;
+    bench_fig16 => "bench_fig16_eol_breakdown", figures::fig16;
+    bench_fig17 => "bench_fig17_source_breakdown", figures::fig17;
+    bench_fig18 => "bench_fig18_script_breakdown", figures::fig18;
+    bench_fig19 => "bench_fig19_document_breakdown", figures::fig19;
+    bench_fig20 => "bench_fig20_archival_breakdown", figures::fig20;
+    bench_fig21 => "bench_fig21_database_breakdown", figures::fig21;
+    bench_fig22 => "bench_fig22_imagefile_breakdown", figures::fig22;
+    bench_fig23 => "bench_fig23_layer_sharing", figures::fig23;
+    bench_fig24 => "bench_fig24_file_repeats", figures::fig24;
+    bench_fig25 => "bench_fig25_dedup_growth", figures::fig25;
+    bench_fig26 => "bench_fig26_cross_duplicates", figures::fig26;
+    bench_fig27 => "bench_fig27_dedup_by_group", figures::fig27;
+    bench_fig28 => "bench_fig28_dedup_eol", figures::fig28;
+    bench_fig29 => "bench_fig29_dedup_source", figures::fig29;
+    bench_table2 => "bench_table2_dedup_headline", figures::table2;
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table1, bench_fig03, bench_fig04, bench_fig05, bench_fig06, bench_fig07,
+        bench_fig08, bench_fig09, bench_fig10, bench_fig11, bench_fig12, bench_fig13,
+        bench_fig14, bench_fig15, bench_fig16, bench_fig17, bench_fig18, bench_fig19,
+        bench_fig20, bench_fig21, bench_fig22, bench_fig23, bench_fig24, bench_fig25,
+        bench_fig26, bench_fig27, bench_fig28, bench_fig29, bench_table2
+}
+criterion_main!(paper);

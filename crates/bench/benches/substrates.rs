@@ -1,0 +1,106 @@
+//! Substrate micro-benchmarks: the from-scratch building blocks whose
+//! throughput bounds the pipeline (sha256, DEFLATE, tar, parallel map).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dhub_compress::{deflate, gzip_compress, gzip_decompress, inflate, CompressOptions};
+use dhub_digest::{crc32, sha256};
+use dhub_model::FileKind;
+use dhub_synth::forge::forge;
+use dhub_tar::{read_archive, write_archive, TarEntry};
+
+fn payload(n: usize) -> Vec<u8> {
+    // Text-like content, representative of the dominant document class.
+    forge(FileKind::AsciiText, n as u64, 7)
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = payload(1 << 20);
+    let mut g = c.benchmark_group("sha256");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("bench_sha256_1MiB", |b| b.iter(|| std::hint::black_box(sha256(&data))));
+    g.finish();
+}
+
+fn bench_crc32(c: &mut Criterion) {
+    let data = payload(1 << 20);
+    let mut g = c.benchmark_group("crc32");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("bench_crc32_1MiB", |b| b.iter(|| std::hint::black_box(crc32(&data))));
+    g.finish();
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let data = payload(1 << 20);
+    let mut g = c.benchmark_group("deflate");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for (name, opts) in [
+        ("bench_deflate_fast_1MiB", CompressOptions::fast()),
+        ("bench_deflate_default_1MiB", CompressOptions::default()),
+        ("bench_deflate_best_1MiB", CompressOptions::best()),
+    ] {
+        g.bench_function(name, |b| b.iter(|| std::hint::black_box(deflate(&data, &opts))));
+    }
+    let compressed = deflate(&data, &CompressOptions::default());
+    g.bench_function("bench_inflate_1MiB", |b| {
+        b.iter(|| std::hint::black_box(inflate(&compressed).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_tar(c: &mut Criterion) {
+    let entries: Vec<TarEntry> = (0..200)
+        .map(|i| TarEntry::file(&format!("usr/share/doc/pkg{i}/README"), payload(2048)))
+        .collect();
+    let archive = write_archive(&entries);
+    let mut g = c.benchmark_group("tar");
+    g.throughput(Throughput::Bytes(archive.len() as u64));
+    g.bench_function("bench_tar_write_200_files", |b| {
+        b.iter(|| std::hint::black_box(write_archive(&entries)))
+    });
+    g.bench_function("bench_tar_read_200_files", |b| {
+        b.iter(|| std::hint::black_box(read_archive(&archive).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_layer_roundtrip(c: &mut Criterion) {
+    // The full per-layer cost the pipeline pays: tar -> gzip -> gunzip -> untar.
+    let entries: Vec<TarEntry> =
+        (0..50).map(|i| TarEntry::file(&format!("opt/app/mod{i}.py"), payload(4096))).collect();
+    let mut g = c.benchmark_group("layer");
+    g.bench_function("bench_layer_pack_unpack", |b| {
+        b.iter(|| {
+            let tar = write_archive(&entries);
+            let gz = gzip_compress(&tar, &CompressOptions::fast());
+            let back = gzip_decompress(&gz).unwrap();
+            std::hint::black_box(read_archive(&back).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_par_map(c: &mut Criterion) {
+    let items: Vec<u64> = (0..1_000_000).collect();
+    let work = |&x: &u64| {
+        // A few hundred ns of work per item, like classifying a file record.
+        let mut acc = x;
+        for _ in 0..32 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        acc
+    };
+    let mut g = c.benchmark_group("par_map_scaling");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("bench_par_map_{threads}t"), |b| {
+            b.iter(|| std::hint::black_box(dhub_par::par_map(threads, &items, work)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sha256, bench_crc32, bench_deflate, bench_tar, bench_layer_roundtrip, bench_par_map
+}
+criterion_main!(substrates);

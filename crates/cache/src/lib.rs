@@ -1,0 +1,19 @@
+//! Registry cache simulation.
+//!
+//! The paper's popularity analysis (Fig. 8) ends with "Docker Hub is a
+//! good fit for caching popular repositories or images"; its future work
+//! (§VI) plans to "extend our image popularity analysis to cache
+//! performance analysis". This crate is that extension: byte-capacity
+//! cache policies ([`policy`]) replayed against popularity-skewed pull
+//! traces ([`trace`]) through a simulator ([`sim`]) that reports request
+//! and byte hit ratios — the numbers a registry operator sizes a cache
+//! tier with (cf. the two-tier cache design of Anwar et al., FAST'18,
+//! which the paper cites as motivation).
+
+pub mod policy;
+pub mod sim;
+pub mod trace;
+
+pub use policy::{CachePolicy, Fifo, GreedyDualSizeFrequency, Lfu, Lru};
+pub use sim::{simulate, CacheStats};
+pub use trace::{PullTrace, TraceConfig};

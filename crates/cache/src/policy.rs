@@ -1,0 +1,369 @@
+//! Byte-capacity cache replacement policies.
+//!
+//! All policies share one interface: [`CachePolicy::request`] records an
+//! access to `(key, size)` and returns whether it was a hit; on a miss the
+//! object is admitted and victims are evicted until the byte budget holds.
+//! Registry objects (images/layers) vary in size by orders of magnitude,
+//! so capacities are bytes, not object counts, and the size-aware GDSF
+//! policy is included alongside the classics.
+
+use dhub_digest::FxHashMap;
+use std::collections::BTreeSet;
+
+/// Common interface for all policies.
+pub trait CachePolicy {
+    /// Records an access; returns true on hit. Objects larger than the
+    /// whole capacity are never admitted (and count as misses).
+    fn request(&mut self, key: u64, size: u64) -> bool;
+
+    /// Bytes currently cached.
+    fn used_bytes(&self) -> u64;
+
+    /// Byte budget.
+    fn capacity(&self) -> u64;
+
+    /// Objects currently cached.
+    fn len(&self) -> usize;
+
+    /// True when nothing is cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Least-recently-used. Recency order is a BTreeSet of (tick, key); each
+/// access re-inserts with a fresh tick (O(log n)).
+pub struct Lru {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    /// key → (last tick, size)
+    entries: FxHashMap<u64, (u64, u64)>,
+    order: BTreeSet<(u64, u64)>,
+}
+
+impl Lru {
+    /// Creates an LRU cache with a byte budget.
+    pub fn new(capacity: u64) -> Lru {
+        Lru { capacity, used: 0, tick: 0, entries: FxHashMap::default(), order: BTreeSet::new() }
+    }
+}
+
+impl CachePolicy for Lru {
+    fn request(&mut self, key: u64, size: u64) -> bool {
+        self.tick += 1;
+        if let Some((old_tick, sz)) = self.entries.get(&key).copied() {
+            self.order.remove(&(old_tick, key));
+            self.order.insert((self.tick, key));
+            self.entries.insert(key, (self.tick, sz));
+            return true;
+        }
+        if size > self.capacity {
+            return false;
+        }
+        while self.used + size > self.capacity {
+            let &(t, k) = self.order.iter().next().expect("used > 0 implies entries");
+            self.order.remove(&(t, k));
+            let (_, sz) = self.entries.remove(&k).expect("order and entries agree");
+            self.used -= sz;
+        }
+        self.entries.insert(key, (self.tick, size));
+        self.order.insert((self.tick, key));
+        self.used += size;
+        false
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Least-frequently-used with LRU tie-breaking.
+pub struct Lfu {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    /// key → (frequency, last tick, size)
+    entries: FxHashMap<u64, (u64, u64, u64)>,
+    /// (frequency, last tick, key) — min element is the victim.
+    order: BTreeSet<(u64, u64, u64)>,
+}
+
+impl Lfu {
+    /// Creates an LFU cache with a byte budget.
+    pub fn new(capacity: u64) -> Lfu {
+        Lfu { capacity, used: 0, tick: 0, entries: FxHashMap::default(), order: BTreeSet::new() }
+    }
+}
+
+impl CachePolicy for Lfu {
+    fn request(&mut self, key: u64, size: u64) -> bool {
+        self.tick += 1;
+        if let Some((freq, last, sz)) = self.entries.get(&key).copied() {
+            self.order.remove(&(freq, last, key));
+            self.order.insert((freq + 1, self.tick, key));
+            self.entries.insert(key, (freq + 1, self.tick, sz));
+            return true;
+        }
+        if size > self.capacity {
+            return false;
+        }
+        while self.used + size > self.capacity {
+            let &(f, t, k) = self.order.iter().next().expect("non-empty");
+            self.order.remove(&(f, t, k));
+            let (_, _, sz) = self.entries.remove(&k).expect("consistent");
+            self.used -= sz;
+        }
+        self.entries.insert(key, (1, self.tick, size));
+        self.order.insert((1, self.tick, key));
+        self.used += size;
+        false
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// First-in first-out (insertion order, accesses do not refresh).
+pub struct Fifo {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    entries: FxHashMap<u64, (u64, u64)>,
+    order: BTreeSet<(u64, u64)>,
+}
+
+impl Fifo {
+    /// Creates a FIFO cache with a byte budget.
+    pub fn new(capacity: u64) -> Fifo {
+        Fifo { capacity, used: 0, tick: 0, entries: FxHashMap::default(), order: BTreeSet::new() }
+    }
+}
+
+impl CachePolicy for Fifo {
+    fn request(&mut self, key: u64, size: u64) -> bool {
+        if self.entries.contains_key(&key) {
+            return true;
+        }
+        if size > self.capacity {
+            return false;
+        }
+        self.tick += 1;
+        while self.used + size > self.capacity {
+            let &(t, k) = self.order.iter().next().expect("non-empty");
+            self.order.remove(&(t, k));
+            let (_, sz) = self.entries.remove(&k).expect("consistent");
+            self.used -= sz;
+        }
+        self.entries.insert(key, (self.tick, size));
+        self.order.insert((self.tick, key));
+        self.used += size;
+        false
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Greedy-Dual-Size-Frequency: priority = L + frequency / size. Evicts the
+/// lowest priority; the inflation term `L` ages out stale-but-hot objects.
+/// The standard size-aware web/registry cache policy.
+pub struct GreedyDualSizeFrequency {
+    capacity: u64,
+    used: u64,
+    inflation: f64,
+    seq: u64,
+    /// key → (priority, freq, size, seq)
+    entries: FxHashMap<u64, (f64, u64, u64, u64)>,
+    /// (priority bits, seq, key) for ordered eviction.
+    order: BTreeSet<(u64, u64, u64)>,
+}
+
+fn prio_bits(p: f64) -> u64 {
+    // Monotone map from non-negative f64 to u64 for BTreeSet ordering.
+    debug_assert!(p >= 0.0);
+    p.to_bits()
+}
+
+impl GreedyDualSizeFrequency {
+    /// Creates a GDSF cache with a byte budget.
+    pub fn new(capacity: u64) -> Self {
+        GreedyDualSizeFrequency {
+            capacity,
+            used: 0,
+            inflation: 0.0,
+            seq: 0,
+            entries: FxHashMap::default(),
+            order: BTreeSet::new(),
+        }
+    }
+
+    fn priority(&self, freq: u64, size: u64) -> f64 {
+        self.inflation + freq as f64 / size.max(1) as f64
+    }
+}
+
+impl CachePolicy for GreedyDualSizeFrequency {
+    fn request(&mut self, key: u64, size: u64) -> bool {
+        self.seq += 1;
+        if let Some((prio, freq, sz, seq)) = self.entries.get(&key).copied() {
+            self.order.remove(&(prio_bits(prio), seq, key));
+            let new_prio = self.priority(freq + 1, sz);
+            self.entries.insert(key, (new_prio, freq + 1, sz, self.seq));
+            self.order.insert((prio_bits(new_prio), self.seq, key));
+            return true;
+        }
+        if size > self.capacity {
+            return false;
+        }
+        while self.used + size > self.capacity {
+            let &(pb, sq, k) = self.order.iter().next().expect("non-empty");
+            self.order.remove(&(pb, sq, k));
+            let (prio, _, sz, _) = self.entries.remove(&k).expect("consistent");
+            // Aging: future priorities start from the evicted priority.
+            self.inflation = self.inflation.max(prio);
+            self.used -= sz;
+        }
+        let prio = self.priority(1, size);
+        self.entries.insert(key, (prio, 1, size, self.seq));
+        self.order.insert((prio_bits(prio), self.seq, key));
+        self.used += size;
+        false
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut c: impl CachePolicy) {
+        // Capacity invariant under a mixed workload.
+        for i in 0..1000u64 {
+            let key = i % 37;
+            let size = 10 + (i % 90);
+            c.request(key, size);
+            assert!(c.used_bytes() <= c.capacity(), "over budget");
+        }
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        exercise(Lru::new(500));
+        exercise(Lfu::new(500));
+        exercise(Fifo::new(500));
+        exercise(GreedyDualSizeFrequency::new(500));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Lru::new(300);
+        assert!(!c.request(1, 100));
+        assert!(!c.request(2, 100));
+        assert!(!c.request(3, 100));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.request(1, 100));
+        assert!(!c.request(4, 100)); // evicts 2
+        assert!(c.request(1, 100));
+        assert!(c.request(3, 100));
+        assert!(!c.request(2, 100), "2 must have been evicted");
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = Fifo::new(300);
+        c.request(1, 100);
+        c.request(2, 100);
+        c.request(3, 100);
+        c.request(1, 100); // hit, but does not refresh insertion order
+        c.request(4, 100); // evicts 1 (oldest insertion)
+        assert!(!c.request(1, 100), "FIFO evicts by insertion order");
+    }
+
+    #[test]
+    fn lfu_keeps_hot_objects() {
+        let mut c = Lfu::new(300);
+        for _ in 0..10 {
+            c.request(1, 100);
+        }
+        c.request(2, 100);
+        c.request(3, 100);
+        c.request(4, 100); // evicts 2 or 3 (freq 1), never 1 (freq 10)
+        assert!(c.request(1, 100), "hot object must survive");
+    }
+
+    #[test]
+    fn gdsf_prefers_evicting_large_cold_objects() {
+        let mut c = GreedyDualSizeFrequency::new(1000);
+        c.request(1, 900); // large
+        c.request(2, 50); // small
+        c.request(3, 50); // small
+        // Need room: the large object has the lowest freq/size priority.
+        c.request(4, 600);
+        assert!(!c.request(1, 900), "large cold object evicted first");
+        assert!(c.request(2, 50));
+        assert!(c.request(3, 50));
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let mut c = Lru::new(100);
+        assert!(!c.request(1, 200));
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.used_bytes(), 0);
+        // And it did not evict anything that was there.
+        c.request(2, 80);
+        assert!(!c.request(3, 500));
+        assert!(c.request(2, 80));
+    }
+
+    #[test]
+    fn lru_inclusion_property() {
+        // LRU is a stack algorithm: a bigger cache's content is a superset,
+        // so hits are monotone in capacity.
+        let trace: Vec<(u64, u64)> = (0..2000u64).map(|i| ((i * 7919) % 61, 30)).collect();
+        let mut hits_small = 0;
+        let mut hits_big = 0;
+        let mut small = Lru::new(600);
+        let mut big = Lru::new(1200);
+        for &(k, s) in &trace {
+            if small.request(k, s) {
+                hits_small += 1;
+            }
+            if big.request(k, s) {
+                hits_big += 1;
+            }
+        }
+        assert!(hits_big >= hits_small, "{hits_big} < {hits_small}");
+    }
+}

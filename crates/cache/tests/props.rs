@@ -1,0 +1,55 @@
+//! Property tests for cache policies.
+
+use dhub_cache::{CachePolicy, Fifo, GreedyDualSizeFrequency, Lfu, Lru};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..50, 1u64..300), 0..400)
+}
+
+fn check(mut c: impl CachePolicy, trace: &[(u64, u64)]) -> Result<(), TestCaseError> {
+    for &(k, s) in trace {
+        let _ = c.request(k, s);
+        prop_assert!(c.used_bytes() <= c.capacity(), "over budget");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No policy ever exceeds its byte budget, whatever the trace.
+    #[test]
+    fn budgets_hold(trace in arb_trace(), cap in 1u64..2000) {
+        check(Lru::new(cap), &trace)?;
+        check(Lfu::new(cap), &trace)?;
+        check(Fifo::new(cap), &trace)?;
+        check(GreedyDualSizeFrequency::new(cap), &trace)?;
+    }
+
+    /// Re-requesting a just-admitted object (that fits) is always a hit.
+    #[test]
+    fn immediate_rerequest_hits(key in 0u64..100, size in 1u64..100) {
+        let mut c = Lru::new(1000);
+        prop_assert!(!c.request(key, size));
+        prop_assert!(c.request(key, size));
+    }
+
+    /// LRU inclusion (stack property): with *uniform* object sizes a larger
+    /// LRU cache never yields fewer hits. (With variable sizes the property
+    /// genuinely does not hold for byte-budgeted caches — admission of a
+    /// large object in the big cache can evict several small hot ones.)
+    #[test]
+    fn lru_monotone_in_capacity(keys in proptest::collection::vec(0u64..50, 0..400),
+                                size in 1u64..50, slots in 2u64..20) {
+        let mut small = Lru::new(size * slots);
+        let mut big = Lru::new(size * slots * 2);
+        let mut hs = 0u32;
+        let mut hb = 0u32;
+        for &k in &keys {
+            if small.request(k, size) { hs += 1; }
+            if big.request(k, size) { hb += 1; }
+        }
+        prop_assert!(hb >= hs, "big {hb} < small {hs}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Tiny command-line argument parser (no external dependencies).
+//!
+//! Supports `dhub <command> [positionals] [--flag] [--key value]`. Flags
+//! may appear anywhere after the command; `--key=value` is accepted too.
+
+use std::collections::BTreeMap;
+
+/// Parse errors, rendered to the user by `main`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No command given.
+    MissingCommand,
+    /// `--key` given without a value (for options that need one).
+    MissingValue(String),
+    /// A value failed to parse as the expected type.
+    BadValue { key: String, value: String },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => f.write_str("missing command (try `dhub help`)"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::BadValue { key, value } => write!(f, "option --{key}: cannot parse {value:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// A parsed command line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Parsed {
+    pub command: String,
+    pub positionals: Vec<String>,
+    /// `--key value` and `--key=value` pairs; bare `--flag` maps to "".
+    pub options: BTreeMap<String, String>,
+}
+
+impl Parsed {
+    /// Parses `args` (without the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, ArgError> {
+        let mut it = args.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut parsed = Parsed { command, ..Parsed::default() };
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if let Some((k, v)) = key.split_once('=') {
+                    parsed.options.insert(k.to_string(), v.to_string());
+                } else if it.peek().map(|n| !n.starts_with("--")).unwrap_or(false) {
+                    let v = it.next().expect("peeked");
+                    parsed.options.insert(key.to_string(), v);
+                } else {
+                    parsed.options.insert(key.to_string(), String::new());
+                }
+            } else {
+                parsed.positionals.push(arg);
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// A numeric option with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) if v.is_empty() => Err(ArgError::MissingValue(key.to_string())),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue { key: key.to_string(), value: v.clone() }),
+        }
+    }
+
+    /// A string option with a default.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        match self.options.get(key) {
+            Some(v) if !v.is_empty() => v.clone(),
+            _ => default.to_string(),
+        }
+    }
+
+    /// Whether a bare flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// The n-th positional argument.
+    pub fn pos(&self, n: usize) -> Option<&str> {
+        self.positionals.get(n).map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Parsed {
+        Parsed::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn command_and_positionals() {
+        let a = p(&["pull", "nginx", "latest"]);
+        assert_eq!(a.command, "pull");
+        assert_eq!(a.pos(0), Some("nginx"));
+        assert_eq!(a.pos(1), Some("latest"));
+        assert_eq!(a.pos(2), None);
+    }
+
+    #[test]
+    fn options_space_and_equals() {
+        let a = p(&["generate", "--repos", "200", "--seed=7", "--verbose"]);
+        assert_eq!(a.num("repos", 0usize).unwrap(), 200);
+        assert_eq!(a.num("seed", 0u64).unwrap(), 7);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.num("scale", 128u64).unwrap(), 128, "default applies");
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = p(&["report", "--json", "--repos", "50"]);
+        assert!(a.flag("json"));
+        assert_eq!(a.num("repos", 0usize).unwrap(), 50);
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let a = p(&["generate", "--repos", "many"]);
+        assert!(matches!(a.num("repos", 0usize), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn missing_command() {
+        assert_eq!(Parsed::parse(std::iter::empty()), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn str_option_default() {
+        let a = p(&["serve", "--tag", "v2"]);
+        assert_eq!(a.str("tag", "latest"), "v2");
+        assert_eq!(a.str("other", "latest"), "latest");
+    }
+
+    #[test]
+    fn positional_after_flag_value() {
+        // "--repos 10 nginx": nginx is positional.
+        let a = p(&["pull", "--repos", "10", "nginx"]);
+        assert_eq!(a.pos(0), Some("nginx"));
+    }
+}

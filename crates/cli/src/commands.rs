@@ -1,0 +1,308 @@
+//! `dhub` command implementations.
+//!
+//! Every command takes the parsed arguments and a writer (so tests can
+//! capture output) and returns an exit code.
+
+use crate::args::Parsed;
+use dhub_model::RepoName;
+use dhub_study::figures;
+use dhub_study::pipeline::run_study;
+use dhub_synth::{generate_hub, SynthConfig, SyntheticHub};
+use std::io::Write;
+
+/// Usage text for `dhub help`.
+pub const USAGE: &str = "\
+dhub — synthetic Docker Hub studies (CLUSTER'19 reproduction)
+
+USAGE:
+  dhub <command> [options]
+
+COMMANDS:
+  help                      show this message
+  generate                  build a hub and print its summary
+  report                    run the pipeline and print all paper figures
+  summary                   run the pipeline and print Table 1 + Table 2
+  pull <repo> [tag]         pull one image over the Registry V2 HTTP API
+  tags <repo>               list a repository's tags over HTTP
+  serve                     start a registry HTTP server (runs until ^C)
+  cache-sim                 replay a popularity trace against LRU/LFU/GDSF
+  carve                     run perfect-layer carving over the hub
+  store                     ingest the hub into the file-dedup store
+
+OPTIONS (all commands):
+  --repos N                 repositories to generate   [default 120]
+  --seed N                  generator seed             [default 42]
+  --scale N                 size divisor (1/N)         [default 128]
+  --threads N               worker threads             [default: cores]
+";
+
+fn config(args: &Parsed) -> Result<SynthConfig, crate::ArgError> {
+    let mut cfg = SynthConfig::default_scale(args.num("seed", 42u64)?)
+        .with_repos(args.num("repos", 120usize)?);
+    cfg.size_scale = args.num("scale", 128u64)?;
+    Ok(cfg)
+}
+
+fn hub_for(args: &Parsed, out: &mut impl Write) -> Result<SyntheticHub, crate::ArgError> {
+    let cfg = config(args)?;
+    writeln!(out, "generating hub: repos={} seed={} scale=1/{}", cfg.repos, cfg.seed, cfg.size_scale)
+        .ok();
+    Ok(generate_hub(&cfg))
+}
+
+fn threads(args: &Parsed) -> Result<usize, crate::ArgError> {
+    args.num("threads", dhub_par::default_threads())
+}
+
+/// Dispatches a parsed command. Returns a process exit code.
+pub fn run(args: &Parsed, out: &mut impl Write) -> i32 {
+    let result = match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            let _ = write!(out, "{USAGE}");
+            Ok(())
+        }
+        "generate" => cmd_generate(args, out),
+        "report" => cmd_report(args, out),
+        "summary" => cmd_summary(args, out),
+        "pull" => cmd_pull(args, out),
+        "tags" => cmd_tags(args, out),
+        "serve" => cmd_serve(args, out),
+        "cache-sim" => cmd_cache_sim(args, out),
+        "carve" => cmd_carve(args, out),
+        "store" => cmd_store(args, out),
+        other => {
+            let _ = writeln!(out, "unknown command {other:?}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_generate(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    let hub = hub_for(args, out)?;
+    let stats = hub.registry.stats();
+    writeln!(out, "repositories : {}", stats.repositories)?;
+    writeln!(out, "unique blobs : {}", stats.unique_blobs)?;
+    writeln!(out, "stored bytes : {}", stats.stored_bytes)?;
+    writeln!(out, "images pushed: {}", hub.truth.images_pushed)?;
+    writeln!(out, "ok / auth / no-latest: {} / {} / {}",
+        hub.truth.ok_repos.len(), hub.truth.auth_repos.len(), hub.truth.no_latest_repos.len())?;
+    Ok(())
+}
+
+fn cmd_report(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    let hub = hub_for(args, out)?;
+    let data = run_study(&hub, threads(args)?);
+    for fig in figures::all_figures(&data) {
+        writeln!(out, "{}", fig.render())?;
+    }
+    let repos = hub.registry.repo_names();
+    let versions = dhub_study::versions::analyze_versions(&hub.registry, &repos);
+    writeln!(out, "{}", dhub_study::versions::ext_v1(&versions, hub.config.size_scale).render())?;
+    writeln!(out, "{}", dhub_study::latency::ext_l1(&data).render())?;
+    writeln!(out, "{}", dhub_study::carving::ext_c1(&data).render())?;
+    Ok(())
+}
+
+fn cmd_summary(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    let hub = hub_for(args, out)?;
+    let data = run_study(&hub, threads(args)?);
+    writeln!(out, "{}", figures::table1(&data).render())?;
+    writeln!(out, "{}", figures::table2(&data).render())?;
+    Ok(())
+}
+
+fn cmd_pull(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    let repo_name = args.pos(0).ok_or("usage: dhub pull <repo> [tag]")?;
+    let tag = args.pos(1).unwrap_or("latest");
+    let repo = RepoName::parse(repo_name).ok_or("bad repository name")?;
+    let hub = hub_for(args, out)?;
+
+    // Pull over the real HTTP wire, like the paper's downloader.
+    let server = dhub_registry::RegistryServer::start(hub.registry.clone())?;
+    let client = dhub_registry::RemoteRegistry::connect(server.addr());
+    let (digest, manifest) = client.get_manifest(&repo, tag)?;
+    writeln!(out, "manifest {digest} ({} layers)", manifest.layers.len())?;
+    let mut total = 0u64;
+    for l in &manifest.layers {
+        let blob = client.get_blob(&repo, &l.digest)?;
+        total += blob.len() as u64;
+        writeln!(out, "  layer {} : {} bytes", l.digest, blob.len())?;
+    }
+    writeln!(out, "pulled {} bytes over HTTP", total)?;
+    server.shutdown();
+    Ok(())
+}
+
+fn cmd_tags(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    let repo_name = args.pos(0).ok_or("usage: dhub tags <repo>")?;
+    let repo = RepoName::parse(repo_name).ok_or("bad repository name")?;
+    let hub = hub_for(args, out)?;
+    let server = dhub_registry::RegistryServer::start(hub.registry.clone())?;
+    let client = dhub_registry::RemoteRegistry::connect(server.addr());
+    for tag in client.tags(&repo)? {
+        writeln!(out, "{tag}")?;
+    }
+    server.shutdown();
+    Ok(())
+}
+
+fn cmd_serve(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    let hub = hub_for(args, out)?;
+    let server = dhub_registry::RegistryServer::start(hub.registry.clone())?;
+    writeln!(out, "registry listening on http://{}", server.addr())?;
+    writeln!(out, "try: curl http://{}/v2/nginx/tags/list", server.addr())?;
+    // Serve until interrupted.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_cache_sim(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    use dhub_cache::{simulate, Fifo, GreedyDualSizeFrequency, Lfu, Lru, PullTrace, TraceConfig};
+    let hub = hub_for(args, out)?;
+    let data = run_study(&hub, threads(args)?);
+    let objects: Vec<(u64, f64, u64)> = data
+        .images
+        .iter()
+        .enumerate()
+        .map(|(i, img)| {
+            let pulls =
+                data.pulls.iter().find(|(r, _)| r == &img.repo).map(|(_, c)| *c).unwrap_or(0);
+            (i as u64, (pulls + 1) as f64, img.cis.max(1))
+        })
+        .collect();
+    let total: u64 = objects.iter().map(|&(_, _, s)| s).sum();
+    let requests = args.num("requests", 100_000usize)?;
+    let trace = PullTrace::from_popularity(&objects, &TraceConfig { seed: 1, requests });
+    writeln!(out, "{:>12} {:>16} {:>16} {:>16} {:>16}", "cache", "LRU", "LFU", "FIFO", "GDSF")?;
+    for frac in [0.02, 0.05, 0.10] {
+        let cap = ((total as f64 * frac) as u64).max(1);
+        let r = [
+            simulate(&mut Lru::new(cap), &trace).hit_ratio(),
+            simulate(&mut Lfu::new(cap), &trace).hit_ratio(),
+            simulate(&mut Fifo::new(cap), &trace).hit_ratio(),
+            simulate(&mut GreedyDualSizeFrequency::new(cap), &trace).hit_ratio(),
+        ];
+        writeln!(
+            out,
+            "{:>10.0}% {:>15.1}% {:>15.1}% {:>15.1}% {:>15.1}%",
+            frac * 100.0,
+            r[0] * 100.0,
+            r[1] * 100.0,
+            r[2] * 100.0,
+            r[3] * 100.0
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_carve(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    let hub = hub_for(args, out)?;
+    let data = run_study(&hub, threads(args)?);
+    writeln!(out, "{}", dhub_study::carving::ext_c1(&data).render())?;
+    Ok(())
+}
+
+fn cmd_store(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    use dhub_dedupstore::DedupStore;
+    let hub = hub_for(args, out)?;
+    let data = run_study(&hub, threads(args)?);
+    let store = DedupStore::new();
+    for digest in data.layers.keys() {
+        let blob = hub.registry.get_blob(digest).expect("downloaded layers exist");
+        let _ = store.ingest_layer(*digest, &blob);
+    }
+    let st = store.stats();
+    writeln!(out, "layers          : {}", st.layers)?;
+    writeln!(out, "unique objects  : {}", st.unique_objects)?;
+    writeln!(out, "logical bytes   : {}", st.logical_bytes)?;
+    writeln!(out, "physical bytes  : {}", st.physical_bytes)?;
+    writeln!(out, "dedup factor    : {:.2}x", st.dedup_factor())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Parsed;
+
+    fn run_cmd(argv: &[&str]) -> (i32, String) {
+        let parsed = Parsed::parse(argv.iter().map(|s| s.to_string())).unwrap();
+        let mut out = Vec::new();
+        let code = run(&parsed, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_cmd(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("cache-sim"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, out) = run_cmd(&["frobnicate"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_summarizes_hub() {
+        let (code, out) = run_cmd(&["generate", "--repos", "20", "--seed", "3", "--scale", "1024"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("repositories : 20"), "{out}");
+        assert!(out.contains("unique blobs"));
+    }
+
+    #[test]
+    fn pull_over_http_works() {
+        let (code, out) =
+            run_cmd(&["pull", "nginx", "--repos", "20", "--seed", "3", "--scale", "1024"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("pulled"), "{out}");
+        assert!(out.contains("layers)"), "{out}");
+    }
+
+    #[test]
+    fn pull_missing_repo_fails_cleanly() {
+        let (code, out) =
+            run_cmd(&["pull", "ghost/none", "--repos", "10", "--seed", "3", "--scale", "1024"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn tags_lists_versions() {
+        let (code, out) = run_cmd(&["tags", "nginx", "--repos", "20", "--seed", "3", "--scale", "1024"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("latest"), "{out}");
+    }
+
+    #[test]
+    fn summary_prints_tables() {
+        let (code, out) =
+            run_cmd(&["summary", "--repos", "25", "--seed", "5", "--scale", "1024", "--threads", "2"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Table 1"), "{out}");
+        assert!(out.contains("Table 2"), "{out}");
+        assert!(out.contains("count dedup ratio"));
+    }
+
+    #[test]
+    fn bad_option_reports_error() {
+        let (code, out) = run_cmd(&["generate", "--repos", "banana"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("cannot parse"), "{out}");
+    }
+}

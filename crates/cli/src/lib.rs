@@ -1,0 +1,8 @@
+//! Library side of the `dhub` CLI: a small, dependency-free argument
+//! parser and the command implementations (kept in the library so they are
+//! unit-testable; `main.rs` is a thin shim).
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Parsed};

@@ -1,0 +1,15 @@
+//! `dhub` entry point — parse arguments and dispatch.
+
+fn main() {
+    let args = std::env::args().skip(1);
+    match dhub_cli::Parsed::parse(args) {
+        Ok(parsed) => {
+            let mut out = std::io::stdout().lock();
+            std::process::exit(dhub_cli::commands::run(&parsed, &mut out));
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", dhub_cli::commands::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! LSB-first bit I/O as DEFLATE requires (RFC 1951 §3.1.1).
+//!
+//! Data elements are packed starting from the least significant bit of each
+//! byte. Huffman codes are written most-significant-bit first *of the code*,
+//! which callers achieve by reversing the code bits before calling
+//! [`BitWriter::write_bits`].
+
+/// Accumulates bits into a byte vector.
+#[derive(Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bit accumulator; bits fill from the LSB.
+    acc: u64,
+    /// Number of valid bits in `acc` (always < 8 after `flush_bytes`).
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `n` bits of `value` (LSB first). `n` must be ≤ 32.
+    #[inline]
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || (value as u64) < (1u64 << n));
+        self.acc |= (value as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary (used before stored
+    /// blocks and at stream end).
+    pub fn align_byte(&mut self) {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends raw bytes; caller must be byte-aligned.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.nbits, 0, "write_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Number of complete bytes emitted so far plus any partial byte.
+    pub fn bit_len(&self) -> u64 {
+        self.out.len() as u64 * 8 + self.nbits as u64
+    }
+
+    /// Finishes the stream (byte-aligns) and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.out
+    }
+}
+
+/// Error produced when a reader runs past the end of input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfBits;
+
+/// Reads bits LSB-first from a byte slice.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte to load.
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads `n` bits (n ≤ 32), LSB-first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u32, OutOfBits> {
+        debug_assert!(n <= 32);
+        if self.nbits < n {
+            self.refill();
+            if self.nbits < n {
+                return Err(OutOfBits);
+            }
+        }
+        let v = (self.acc & ((1u64 << n) - 1)) as u32;
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<u32, OutOfBits> {
+        self.read_bits(1)
+    }
+
+    /// Discards bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Reads `n` raw bytes; requires byte alignment.
+    pub fn read_bytes(&mut self, n: usize) -> Result<Vec<u8>, OutOfBits> {
+        debug_assert_eq!(self.nbits % 8, 0);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.read_bits(8)? as u8);
+        }
+        Ok(out)
+    }
+
+    /// True when all input (including buffered bits) has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.nbits == 0 && self.pos >= self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bit_patterns() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b10, 2);
+        w.write_bits(0b10110, 5);
+        w.write_bits(0xABCD, 16);
+        w.write_bits(0x3FFFFFFF, 30);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 0b1);
+        assert_eq!(r.read_bits(2).unwrap(), 0b10);
+        assert_eq!(r.read_bits(5).unwrap(), 0b10110);
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+        assert_eq!(r.read_bits(30).unwrap(), 0x3FFFFFFF);
+    }
+
+    #[test]
+    fn lsb_first_packing() {
+        // RFC 1951: first bit written lands in the LSB of the first byte.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // bit0 = 1
+        w.write_bits(0, 1); // bit1 = 0
+        w.write_bits(1, 1); // bit2 = 1
+        assert_eq!(w.finish(), vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn align_and_raw_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.align_byte();
+        w.write_bytes(&[0xDE, 0xAD]);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b11, 0xDE, 0xAD]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        r.align_byte();
+        assert_eq!(r.read_bytes(2).unwrap(), vec![0xDE, 0xAD]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn out_of_bits() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1), Err(OutOfBits));
+    }
+
+    #[test]
+    fn zero_bit_read() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.bit_len(), 11);
+    }
+}

@@ -1,0 +1,380 @@
+//! DEFLATE block encoder (RFC 1951).
+//!
+//! Input is tokenized once by [`crate::lz77`], split into blocks, and each
+//! block is emitted in whichever representation is smallest: stored, fixed
+//! Huffman, or dynamic Huffman. This mirrors the trade-off the paper
+//! observes in Fig. 4 — small or already-compressed layers gain nothing from
+//! entropy coding, and the stored path keeps their overhead to 5 bytes per
+//! 64 KiB.
+
+use crate::bitio::BitWriter;
+use crate::huffman::{canonical_codes, limited_code_lengths};
+use crate::lz77::{tokenize, Lz77Options, Token};
+use crate::tables::{
+    dist_to_code, fixed_dist_lengths, fixed_lit_lengths, length_to_code, CLCL_ORDER,
+};
+
+/// End-of-block symbol in the literal/length alphabet.
+const END_OF_BLOCK: usize = 256;
+
+/// Encoder configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompressOptions {
+    /// Match-finder tuning.
+    pub lz77: Lz77Options,
+}
+
+impl CompressOptions {
+    /// Fast, lower-ratio profile.
+    pub fn fast() -> Self {
+        CompressOptions { lz77: Lz77Options::fast() }
+    }
+
+    /// Slow, higher-ratio profile.
+    pub fn best() -> Self {
+        CompressOptions { lz77: Lz77Options::best() }
+    }
+}
+
+/// Compresses `data` into a raw DEFLATE stream.
+pub fn deflate(data: &[u8], opts: &CompressOptions) -> Vec<u8> {
+    let tokens = tokenize(data, &opts.lz77);
+    let mut w = BitWriter::new();
+    // Token-count-bounded blocks: each block re-derives Huffman tables, so
+    // heterogeneous files (tar archives!) get locally adapted codes.
+    const BLOCK_TOKENS: usize = 1 << 16;
+    if tokens.is_empty() {
+        write_block(&mut w, data, &[], true);
+        return w.finish();
+    }
+    let mut consumed_bytes = 0usize;
+    let nblocks = tokens.len().div_ceil(BLOCK_TOKENS);
+    for (bi, chunk) in tokens.chunks(BLOCK_TOKENS).enumerate() {
+        let block_bytes: usize = chunk
+            .iter()
+            .map(|t| match t {
+                Token::Literal(_) => 1,
+                Token::Match { len, .. } => *len as usize,
+            })
+            .sum();
+        let raw = &data[consumed_bytes..consumed_bytes + block_bytes];
+        write_block(&mut w, raw, chunk, bi == nblocks - 1);
+        consumed_bytes += block_bytes;
+    }
+    w.finish()
+}
+
+/// Writes one block, choosing the cheapest of stored/fixed/dynamic.
+fn write_block(w: &mut BitWriter, raw: &[u8], tokens: &[Token], last: bool) {
+    // Gather symbol frequencies (including the mandatory end-of-block).
+    let mut lit_freq = [0u64; 286];
+    let mut dist_freq = [0u64; 30];
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                let (lc, _, _) = length_to_code(len);
+                lit_freq[257 + lc] += 1;
+                let (dc, _, _) = dist_to_code(dist);
+                dist_freq[dc] += 1;
+            }
+        }
+    }
+    lit_freq[END_OF_BLOCK] += 1;
+
+    let dyn_lit_lens = limited_code_lengths(&lit_freq, 15);
+    let mut dyn_dist_lens = limited_code_lengths(&dist_freq, 15);
+    // DEFLATE requires HDIST ≥ 1 code length; if the block has no matches,
+    // transmit one dummy length-1 distance code.
+    if dyn_dist_lens.iter().all(|&l| l == 0) {
+        dyn_dist_lens[0] = 1;
+    }
+
+    let fixed_lit = fixed_lit_lengths();
+    let fixed_dist = fixed_dist_lengths();
+
+    let body_cost = |lit_lens: &[u8], dist_lens: &[u8]| -> u64 {
+        let mut bits = 0u64;
+        for t in tokens {
+            match *t {
+                Token::Literal(b) => bits += lit_lens[b as usize] as u64,
+                Token::Match { len, dist } => {
+                    let (lc, le, _) = length_to_code(len);
+                    bits += lit_lens[257 + lc] as u64 + le as u64;
+                    let (dc, de, _) = dist_to_code(dist);
+                    bits += dist_lens[dc] as u64 + de as u64;
+                }
+            }
+        }
+        bits + lit_lens[END_OF_BLOCK] as u64
+    };
+
+    let (header, cl_syms) = dynamic_header(&dyn_lit_lens, &dyn_dist_lens);
+    let dyn_cost = header + body_cost(&dyn_lit_lens, &dyn_dist_lens);
+    let fixed_cost = body_cost(&fixed_lit, &fixed_dist);
+    // Stored: byte alignment (≤7) + per-64K 32-bit len/nlen + payload.
+    let stored_cost = 7 + (raw.len().div_ceil(0xFFFF).max(1) as u64) * 32 + raw.len() as u64 * 8;
+
+    if stored_cost <= dyn_cost.min(fixed_cost) {
+        write_stored(w, raw, last);
+    } else if fixed_cost <= dyn_cost {
+        w.write_bits(last as u32, 1);
+        w.write_bits(0b01, 2);
+        write_body(w, tokens, &fixed_lit, &fixed_dist);
+    } else {
+        w.write_bits(last as u32, 1);
+        w.write_bits(0b10, 2);
+        write_dynamic_header(w, &dyn_lit_lens, &dyn_dist_lens, &cl_syms);
+        write_body(w, tokens, &dyn_lit_lens, &dyn_dist_lens);
+    }
+}
+
+fn write_stored(w: &mut BitWriter, raw: &[u8], last: bool) {
+    let chunks: Vec<&[u8]> = if raw.is_empty() { vec![&[][..]] } else { raw.chunks(0xFFFF).collect() };
+    let n = chunks.len();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let is_last = last && i == n - 1;
+        w.write_bits(is_last as u32, 1);
+        w.write_bits(0b00, 2);
+        w.align_byte();
+        let len = chunk.len() as u16;
+        w.write_bytes(&len.to_le_bytes());
+        w.write_bytes(&(!len).to_le_bytes());
+        w.write_bytes(chunk);
+    }
+}
+
+fn write_body(w: &mut BitWriter, tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) {
+    let lit_codes = canonical_codes(lit_lens);
+    let dist_codes = canonical_codes(dist_lens);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                w.write_bits(lit_codes[b as usize] as u32, lit_lens[b as usize] as u32);
+            }
+            Token::Match { len, dist } => {
+                let (lc, le, lv) = length_to_code(len);
+                let sym = 257 + lc;
+                w.write_bits(lit_codes[sym] as u32, lit_lens[sym] as u32);
+                if le > 0 {
+                    w.write_bits(lv as u32, le as u32);
+                }
+                let (dc, de, dv) = dist_to_code(dist);
+                w.write_bits(dist_codes[dc] as u32, dist_lens[dc] as u32);
+                if de > 0 {
+                    w.write_bits(dv as u32, de as u32);
+                }
+            }
+        }
+    }
+    w.write_bits(lit_codes[END_OF_BLOCK] as u32, lit_lens[END_OF_BLOCK] as u32);
+}
+
+/// A code-length-alphabet symbol with its extra-bits payload.
+#[derive(Clone, Copy)]
+struct ClSym {
+    sym: u8,
+    extra_bits: u8,
+    extra_val: u8,
+}
+
+/// Run-length encodes the literal+distance code lengths into the
+/// code-length alphabet (symbols 0-18) per §3.2.7.
+fn rle_code_lengths(lens: &[u8]) -> Vec<ClSym> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lens.len() {
+        let v = lens[i];
+        let mut run = 1;
+        while i + run < lens.len() && lens[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut rem = run;
+            while rem >= 11 {
+                let take = rem.min(138);
+                out.push(ClSym { sym: 18, extra_bits: 7, extra_val: (take - 11) as u8 });
+                rem -= take;
+            }
+            if rem >= 3 {
+                out.push(ClSym { sym: 17, extra_bits: 3, extra_val: (rem - 3) as u8 });
+                rem = 0;
+            }
+            for _ in 0..rem {
+                out.push(ClSym { sym: 0, extra_bits: 0, extra_val: 0 });
+            }
+        } else {
+            out.push(ClSym { sym: v, extra_bits: 0, extra_val: 0 });
+            let mut rem = run - 1;
+            while rem >= 3 {
+                let take = rem.min(6);
+                out.push(ClSym { sym: 16, extra_bits: 2, extra_val: (take - 3) as u8 });
+                rem -= take;
+            }
+            for _ in 0..rem {
+                out.push(ClSym { sym: v, extra_bits: 0, extra_val: 0 });
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+/// Computes the dynamic header cost in bits and the RLE symbol stream.
+fn dynamic_header(lit_lens: &[u8], dist_lens: &[u8]) -> (u64, Vec<ClSym>) {
+    let hlit = trimmed_len(lit_lens, 257);
+    let hdist = trimmed_len(dist_lens, 1);
+    let mut all = Vec::with_capacity(hlit + hdist);
+    all.extend_from_slice(&lit_lens[..hlit]);
+    all.extend_from_slice(&dist_lens[..hdist]);
+    let syms = rle_code_lengths(&all);
+    let mut cl_freq = [0u64; 19];
+    for s in &syms {
+        cl_freq[s.sym as usize] += 1;
+    }
+    let cl_lens = limited_code_lengths(&cl_freq, 7);
+    let hclen = CLCL_ORDER
+        .iter()
+        .rposition(|&s| cl_lens[s] != 0)
+        .map(|p| p + 1)
+        .unwrap_or(4)
+        .max(4);
+    let mut bits = 5 + 5 + 4 + hclen as u64 * 3;
+    for s in &syms {
+        bits += cl_lens[s.sym as usize] as u64 + s.extra_bits as u64;
+    }
+    (bits, syms)
+}
+
+fn trimmed_len(lens: &[u8], min: usize) -> usize {
+    lens.iter()
+        .rposition(|&l| l != 0)
+        .map(|p| p + 1)
+        .unwrap_or(0)
+        .max(min)
+}
+
+fn write_dynamic_header(w: &mut BitWriter, lit_lens: &[u8], dist_lens: &[u8], syms: &[ClSym]) {
+    let hlit = trimmed_len(lit_lens, 257);
+    let hdist = trimmed_len(dist_lens, 1);
+    let mut cl_freq = [0u64; 19];
+    for s in syms {
+        cl_freq[s.sym as usize] += 1;
+    }
+    let cl_lens = limited_code_lengths(&cl_freq, 7);
+    let cl_codes = canonical_codes(&cl_lens);
+    let hclen = CLCL_ORDER
+        .iter()
+        .rposition(|&s| cl_lens[s] != 0)
+        .map(|p| p + 1)
+        .unwrap_or(4)
+        .max(4);
+
+    w.write_bits((hlit - 257) as u32, 5);
+    w.write_bits((hdist - 1) as u32, 5);
+    w.write_bits((hclen - 4) as u32, 4);
+    for &s in CLCL_ORDER.iter().take(hclen) {
+        w.write_bits(cl_lens[s] as u32, 3);
+    }
+    for s in syms {
+        w.write_bits(cl_codes[s.sym as usize] as u32, cl_lens[s.sym as usize] as u32);
+        if s.extra_bits > 0 {
+            w.write_bits(s.extra_val as u32, s.extra_bits as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let compressed = deflate(data, &CompressOptions::default());
+        let back = inflate(&compressed).expect("inflate");
+        assert_eq!(back, data, "roundtrip mismatch ({} bytes)", data.len());
+        compressed
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn small_inputs() {
+        for data in [&b"a"[..], b"ab", b"abc", b"hello world"] {
+            roundtrip(data);
+        }
+    }
+
+    #[test]
+    fn text_compresses_well() {
+        let text = "The Docker registry is a platform for storing and sharing container images. "
+            .repeat(200);
+        let c = roundtrip(text.as_bytes());
+        assert!(c.len() * 5 < text.len(), "ratio too low: {} -> {}", text.len(), c.len());
+    }
+
+    #[test]
+    fn incompressible_stays_near_original() {
+        let mut x = 0xdeadbeefu64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = roundtrip(&data);
+        // Stored blocks bound the expansion to ~5 bytes / 64 KiB + 1.
+        assert!(c.len() < data.len() + 64, "expanded too much: {}", c.len());
+    }
+
+    #[test]
+    fn rle_heavy_input() {
+        let mut data = Vec::new();
+        for b in 0..=255u8 {
+            data.extend(std::iter::repeat_n(b, 517));
+        }
+        let c = roundtrip(&data);
+        assert!(c.len() * 20 < data.len());
+    }
+
+    #[test]
+    fn multi_block_input() {
+        // Enough tokens to force several blocks.
+        let data: Vec<u8> = (0..700_000u32).map(|i| (i % 254) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn all_profiles() {
+        let text = "pull push layer manifest registry image ".repeat(500);
+        for opts in [CompressOptions::fast(), CompressOptions::default(), CompressOptions::best()] {
+            let c = deflate(text.as_bytes(), &opts);
+            assert_eq!(inflate(&c).unwrap(), text.as_bytes());
+        }
+    }
+
+    #[test]
+    fn rle_code_lengths_reconstruct() {
+        let lens = [0u8, 0, 0, 0, 0, 3, 3, 3, 3, 3, 3, 3, 3, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2];
+        let syms = rle_code_lengths(&lens);
+        // Re-expand.
+        let mut out = Vec::new();
+        for s in &syms {
+            match s.sym {
+                16 => {
+                    let v = *out.last().unwrap();
+                    for _ in 0..s.extra_val + 3 {
+                        out.push(v);
+                    }
+                }
+                17 => out.extend(std::iter::repeat_n(0, s.extra_val as usize + 3)),
+                18 => out.extend(std::iter::repeat_n(0, s.extra_val as usize + 11)),
+                v => out.push(v),
+            }
+        }
+        assert_eq!(out, lens);
+    }
+}

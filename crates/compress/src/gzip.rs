@@ -1,0 +1,188 @@
+//! gzip member framing (RFC 1952).
+//!
+//! Docker registries transfer layers as gzip-compressed tarballs; this
+//! module wraps the raw DEFLATE codec in the gzip container: a 10-byte
+//! header, the compressed stream, then CRC-32 and ISIZE trailers which the
+//! decoder verifies.
+
+use crate::deflate::{deflate, CompressOptions};
+use crate::inflate::{inflate, InflateError};
+use dhub_digest::crc32;
+
+/// gzip magic bytes.
+const MAGIC: [u8; 2] = [0x1f, 0x8b];
+/// Compression method 8 = DEFLATE.
+const CM_DEFLATE: u8 = 8;
+/// OS byte 255 = unknown.
+const OS_UNKNOWN: u8 = 255;
+
+/// Errors raised on malformed gzip members.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GzipError {
+    /// Input shorter than the fixed header + trailer.
+    Truncated,
+    /// Magic bytes or compression method wrong.
+    BadHeader,
+    /// An optional header field (FEXTRA/FNAME/FCOMMENT/FHCRC) is malformed.
+    BadOptionalField,
+    /// The embedded DEFLATE stream is invalid.
+    Deflate(InflateError),
+    /// CRC-32 trailer mismatch.
+    BadCrc,
+    /// ISIZE trailer mismatch.
+    BadLength,
+}
+
+impl std::fmt::Display for GzipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GzipError::Truncated => f.write_str("truncated gzip member"),
+            GzipError::BadHeader => f.write_str("bad gzip header"),
+            GzipError::BadOptionalField => f.write_str("malformed optional gzip header field"),
+            GzipError::Deflate(e) => write!(f, "deflate error: {e}"),
+            GzipError::BadCrc => f.write_str("gzip crc mismatch"),
+            GzipError::BadLength => f.write_str("gzip isize mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for GzipError {}
+
+/// Compresses `data` into a single gzip member.
+pub fn gzip_compress(data: &[u8], opts: &CompressOptions) -> Vec<u8> {
+    let body = deflate(data, opts);
+    let mut out = Vec::with_capacity(body.len() + 18);
+    out.extend_from_slice(&MAGIC);
+    out.push(CM_DEFLATE);
+    out.push(0); // FLG: no optional fields
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME = 0 for reproducible bytes
+    out.push(0); // XFL
+    out.push(OS_UNKNOWN);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompresses a single gzip member, verifying CRC-32 and ISIZE.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, GzipError> {
+    if data.len() < 18 {
+        return Err(GzipError::Truncated);
+    }
+    if data[0..2] != MAGIC || data[2] != CM_DEFLATE {
+        return Err(GzipError::BadHeader);
+    }
+    let flg = data[3];
+    if flg & 0xE0 != 0 {
+        // Reserved flag bits must be zero.
+        return Err(GzipError::BadHeader);
+    }
+    let mut pos = 10usize;
+    if flg & 0x04 != 0 {
+        // FEXTRA
+        if pos + 2 > data.len() {
+            return Err(GzipError::BadOptionalField);
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated strings.
+        if flg & flag != 0 {
+            let end = data[pos..].iter().position(|&b| b == 0).ok_or(GzipError::BadOptionalField)?;
+            pos += end + 1;
+        }
+    }
+    if flg & 0x02 != 0 {
+        // FHCRC
+        pos += 2;
+    }
+    if pos + 8 > data.len() {
+        return Err(GzipError::BadOptionalField);
+    }
+    let body = &data[pos..data.len() - 8];
+    let out = inflate(body).map_err(GzipError::Deflate)?;
+    let want_crc = u32::from_le_bytes(data[data.len() - 8..data.len() - 4].try_into().unwrap());
+    let want_len = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    if crc32(&out) != want_crc {
+        return Err(GzipError::BadCrc);
+    }
+    if out.len() as u32 != want_len {
+        return Err(GzipError::BadLength);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = b"FROM ubuntu:14.04\nRUN apt-get update\n".repeat(50);
+        let gz = gzip_compress(&data, &CompressOptions::default());
+        assert_eq!(gzip_decompress(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let gz = gzip_compress(b"", &CompressOptions::default());
+        assert_eq!(gzip_decompress(&gz).unwrap(), b"");
+    }
+
+    #[test]
+    fn header_bytes() {
+        let gz = gzip_compress(b"x", &CompressOptions::default());
+        assert_eq!(&gz[0..2], &[0x1f, 0x8b]);
+        assert_eq!(gz[2], 8);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        // MTIME pinned to zero: identical input → identical bytes, which the
+        // registry relies on for stable layer digests.
+        let a = gzip_compress(b"layer content", &CompressOptions::default());
+        let b = gzip_compress(b"layer content", &CompressOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut gz = gzip_compress(b"data", &CompressOptions::default());
+        gz[0] = 0;
+        assert_eq!(gzip_decompress(&gz).unwrap_err(), GzipError::BadHeader);
+    }
+
+    #[test]
+    fn rejects_corrupt_crc() {
+        let mut gz = gzip_compress(b"data data data", &CompressOptions::default());
+        let n = gz.len();
+        gz[n - 5] ^= 0xff;
+        assert_eq!(gzip_decompress(&gz).unwrap_err(), GzipError::BadCrc);
+    }
+
+    #[test]
+    fn rejects_corrupt_isize() {
+        let mut gz = gzip_compress(b"data data data", &CompressOptions::default());
+        let n = gz.len();
+        gz[n - 1] ^= 0xff;
+        assert_eq!(gzip_decompress(&gz).unwrap_err(), GzipError::BadLength);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let gz = gzip_compress(b"data", &CompressOptions::default());
+        assert_eq!(gzip_decompress(&gz[..10]).unwrap_err(), GzipError::Truncated);
+    }
+
+    #[test]
+    fn tolerates_fname_field() {
+        // Build a member with FNAME set, as real docker layers sometimes have.
+        let mut gz = gzip_compress(b"payload", &CompressOptions::default());
+        let body: Vec<u8> = gz.split_off(10);
+        gz[3] |= 0x08;
+        gz.extend_from_slice(b"layer.tar\0");
+        gz.extend_from_slice(&body);
+        assert_eq!(gzip_decompress(&gz).unwrap(), b"payload");
+    }
+}

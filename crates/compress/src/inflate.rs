@@ -1,0 +1,257 @@
+//! DEFLATE decoder (RFC 1951).
+
+use crate::bitio::{BitReader, OutOfBits};
+use crate::huffman::{Decoder, HuffError};
+use crate::tables::{fixed_dist_lengths, fixed_lit_lengths, CLCL_ORDER, DIST_CODES, LENGTH_CODES};
+
+/// Errors raised on malformed DEFLATE streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InflateError {
+    /// Stream ended mid-element.
+    Truncated,
+    /// Reserved block type 11.
+    BadBlockType,
+    /// Stored block LEN/NLEN mismatch.
+    BadStoredLength,
+    /// Invalid Huffman table description.
+    BadHuffmanTable,
+    /// A symbol decoded to an impossible value.
+    BadSymbol,
+    /// Back-reference before the start of output.
+    DistanceTooFar,
+}
+
+impl std::fmt::Display for InflateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            InflateError::Truncated => "truncated deflate stream",
+            InflateError::BadBlockType => "reserved block type",
+            InflateError::BadStoredLength => "stored block length check failed",
+            InflateError::BadHuffmanTable => "invalid huffman table",
+            InflateError::BadSymbol => "invalid symbol",
+            InflateError::DistanceTooFar => "back-reference beyond output start",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+impl From<OutOfBits> for InflateError {
+    fn from(_: OutOfBits) -> Self {
+        InflateError::Truncated
+    }
+}
+
+impl From<HuffError> for InflateError {
+    fn from(e: HuffError) -> Self {
+        match e {
+            HuffError::Truncated => InflateError::Truncated,
+            _ => InflateError::BadHuffmanTable,
+        }
+    }
+}
+
+/// Decompresses a raw DEFLATE stream.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(data.len() * 3);
+    loop {
+        let last = r.read_bit()? == 1;
+        match r.read_bits(2)? {
+            0b00 => stored_block(&mut r, &mut out)?,
+            0b01 => {
+                let lit = Decoder::new(&fixed_lit_lengths()).expect("fixed table");
+                let dist = Decoder::new(&fixed_dist_lengths()).expect("fixed table");
+                huffman_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            0b10 => {
+                let (lit, dist) = dynamic_tables(&mut r)?;
+                huffman_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            _ => return Err(InflateError::BadBlockType),
+        }
+        if last {
+            return Ok(out);
+        }
+    }
+}
+
+fn stored_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+    r.align_byte();
+    let len = r.read_bits(16)? as u16;
+    let nlen = r.read_bits(16)? as u16;
+    if len != !nlen {
+        return Err(InflateError::BadStoredLength);
+    }
+    let bytes = r.read_bytes(len as usize).map_err(|_| InflateError::Truncated)?;
+    out.extend_from_slice(&bytes);
+    Ok(())
+}
+
+fn dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateError> {
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(InflateError::BadHuffmanTable);
+    }
+    let mut cl_lens = [0u8; 19];
+    for &sym in CLCL_ORDER.iter().take(hclen) {
+        cl_lens[sym] = r.read_bits(3)? as u8;
+    }
+    let cl_dec = Decoder::new(&cl_lens)?;
+
+    let mut lens = Vec::with_capacity(hlit + hdist);
+    while lens.len() < hlit + hdist {
+        match cl_dec.decode(r)? {
+            s @ 0..=15 => lens.push(s as u8),
+            16 => {
+                let &prev = lens.last().ok_or(InflateError::BadHuffmanTable)?;
+                let n = r.read_bits(2)? + 3;
+                lens.extend(std::iter::repeat_n(prev, n as usize));
+            }
+            17 => {
+                let n = r.read_bits(3)? + 3;
+                lens.extend(std::iter::repeat_n(0, n as usize));
+            }
+            18 => {
+                let n = r.read_bits(7)? + 11;
+                lens.extend(std::iter::repeat_n(0, n as usize));
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+    if lens.len() != hlit + hdist {
+        // A repeat ran past the boundary between the two tables.
+        return Err(InflateError::BadHuffmanTable);
+    }
+    let lit = Decoder::new(&lens[..hlit])?;
+    let dist = Decoder::new(&lens[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn huffman_block(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Decoder,
+    dist: &Decoder,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = LENGTH_CODES[sym as usize - 257];
+                let len = base as usize + r.read_bits(extra as u32)? as usize;
+                let dsym = dist.decode(r)?;
+                if dsym as usize >= DIST_CODES.len() {
+                    return Err(InflateError::BadSymbol);
+                }
+                let (dbase, dextra) = DIST_CODES[dsym as usize];
+                let d = dbase as usize + r.read_bits(dextra as u32)? as usize;
+                if d > out.len() {
+                    return Err(InflateError::DistanceTooFar);
+                }
+                let start = out.len() - d;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+
+    #[test]
+    fn stored_roundtrip_manual() {
+        // Hand-built stored block: BFINAL=1, BTYPE=00.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_byte();
+        w.write_bytes(&5u16.to_le_bytes());
+        w.write_bytes(&(!5u16).to_le_bytes());
+        w.write_bytes(b"hello");
+        assert_eq!(inflate(&w.finish()).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn fixed_block_known_bytes() {
+        // `echo -n abc | pigz -z`-style check: deflate of "abc" with fixed
+        // codes produced by zlib is 4b 4c 4a 06 00.
+        assert_eq!(inflate(&[0x4b, 0x4c, 0x4a, 0x06, 0x00]).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn zlib_dynamic_stream() {
+        // Raw deflate of 'aaaaabbbbbcccccdddddeeeee\n' emitted by zlib
+        // level 9, captured from python `zlib.compressobj(9, DEFLATED, -15)`.
+        let raw: &[u8] = &[
+            0x4b, 0x4c, 0x04, 0x82, 0x24, 0x10, 0x48, 0x06, 0x81, 0x14, 0x10, 0x48, 0x05, 0x01,
+            0x2e, 0x00,
+        ];
+        assert_eq!(inflate(raw).unwrap(), b"aaaaabbbbbcccccdddddeeeee\n");
+    }
+
+    #[test]
+    fn zlib_repeated_text_stream() {
+        // zlib level 6 raw deflate of 20 copies of the fox sentence.
+        let raw: Vec<u8> = {
+            let hex = "2bc94855282ccd4cce56482aca2fcf5348cbaf50c82acd2d2856c82f4b2d5228014ae72456552aa4e4a7eb8179a38a47158f2aa6aa6200";
+            (0..hex.len()).step_by(2).map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap()).collect()
+        };
+        let expect: Vec<u8> = b"the quick brown fox jumps over the lazy dog. ".repeat(20);
+        assert_eq!(inflate(&raw).unwrap(), expect);
+    }
+
+    #[test]
+    fn bad_block_type() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b11, 2);
+        assert_eq!(inflate(&w.finish()).unwrap_err(), InflateError::BadBlockType);
+    }
+
+    #[test]
+    fn stored_length_mismatch() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_byte();
+        w.write_bytes(&5u16.to_le_bytes());
+        w.write_bytes(&0u16.to_le_bytes()); // wrong NLEN
+        w.write_bytes(b"hello");
+        assert_eq!(inflate(&w.finish()).unwrap_err(), InflateError::BadStoredLength);
+    }
+
+    #[test]
+    fn truncated_stream() {
+        assert_eq!(inflate(&[]).unwrap_err(), InflateError::Truncated);
+        assert_eq!(inflate(&[0x4b]).unwrap_err(), InflateError::Truncated);
+    }
+
+    #[test]
+    fn distance_too_far() {
+        // Fixed block: immediately emit a match referencing d=1 with no
+        // output yet. Symbol 257 (len 3) = code 0000001 (7 bits), dist 0 =
+        // 00000 (5 bits).
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        // Symbol 257 has fixed code length 7, canonical code 1 → reversed.
+        let lens = crate::tables::fixed_lit_lengths();
+        let codes = crate::huffman::canonical_codes(&lens);
+        w.write_bits(codes[257] as u32, lens[257] as u32);
+        // Distance code 0, 5 bits, code value 0.
+        w.write_bits(0, 5);
+        assert_eq!(inflate(&w.finish()).unwrap_err(), InflateError::DistanceTooFar);
+    }
+}

@@ -1,0 +1,200 @@
+//! zlib container (RFC 1950) with Adler-32 integrity.
+//!
+//! Docker's ecosystem mostly uses gzip framing for layers, but manifests
+//! pushed by some clients and many embedded payloads (PNG IDAT, git
+//! objects) use the zlib container instead. Supporting it makes the codec
+//! substrate complete: [`zlib_compress`]/[`zlib_decompress`] wrap the same
+//! DEFLATE core with the 2-byte header and Adler-32 trailer.
+
+use crate::deflate::{deflate, CompressOptions};
+use crate::inflate::{inflate, InflateError};
+
+/// Errors for malformed zlib streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZlibError {
+    /// Shorter than header + trailer.
+    Truncated,
+    /// CMF/FLG header invalid (method, window size, or check bits).
+    BadHeader,
+    /// A preset dictionary is required (not supported, as in zlib's own
+    /// default mode).
+    NeedsDictionary,
+    /// Embedded DEFLATE stream invalid.
+    Deflate(InflateError),
+    /// Adler-32 trailer mismatch.
+    BadChecksum,
+}
+
+impl std::fmt::Display for ZlibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZlibError::Truncated => f.write_str("truncated zlib stream"),
+            ZlibError::BadHeader => f.write_str("bad zlib header"),
+            ZlibError::NeedsDictionary => f.write_str("preset dictionary not supported"),
+            ZlibError::Deflate(e) => write!(f, "deflate error: {e}"),
+            ZlibError::BadChecksum => f.write_str("adler-32 mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ZlibError {}
+
+/// Adler-32 checksum (RFC 1950 §8).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    // Process in chunks small enough that the sums cannot overflow u32
+    // before reduction (5552 is the classic zlib bound).
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Compresses into a zlib stream (CM=8, 32 KiB window, default FLEVEL).
+pub fn zlib_compress(data: &[u8], opts: &CompressOptions) -> Vec<u8> {
+    let body = deflate(data, opts);
+    let mut out = Vec::with_capacity(body.len() + 6);
+    let cmf: u8 = 0x78; // CM=8 (deflate), CINFO=7 (32 KiB window)
+    let mut flg: u8 = 0x80; // FLEVEL=2 (default), FDICT=0
+    // FCHECK: make (cmf*256 + flg) divisible by 31.
+    let rem = ((cmf as u16) * 256 + flg as u16) % 31;
+    if rem != 0 {
+        flg += (31 - rem) as u8;
+    }
+    out.push(cmf);
+    out.push(flg);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Decompresses a zlib stream, verifying header check bits and Adler-32.
+pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, ZlibError> {
+    if data.len() < 6 {
+        return Err(ZlibError::Truncated);
+    }
+    let cmf = data[0];
+    let flg = data[1];
+    if cmf & 0x0F != 8 || (cmf >> 4) > 7 {
+        return Err(ZlibError::BadHeader);
+    }
+    if !((cmf as u16) * 256 + flg as u16).is_multiple_of(31) {
+        return Err(ZlibError::BadHeader);
+    }
+    if flg & 0x20 != 0 {
+        return Err(ZlibError::NeedsDictionary);
+    }
+    let body = &data[2..data.len() - 4];
+    let out = inflate(body).map_err(ZlibError::Deflate)?;
+    let want = u32::from_be_bytes(data[data.len() - 4..].try_into().unwrap());
+    if adler32(&out) != want {
+        return Err(ZlibError::BadChecksum);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler32_vectors() {
+        // RFC 1950 reference values.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x00620062);
+        assert_eq!(adler32(b"abc"), 0x024D0127);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E60398);
+    }
+
+    #[test]
+    fn adler32_long_input_reduction() {
+        // Exercise the chunked modular reduction path.
+        let data = vec![0xFFu8; 100_000];
+        let direct = adler32(&data);
+        // Naive u64 reference.
+        let (mut a, mut b) = (1u64, 0u64);
+        for &x in &data {
+            a = (a + x as u64) % 65_521;
+            b = (b + a) % 65_521;
+        }
+        assert_eq!(direct, ((b as u32) << 16) | a as u32);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data = b"zlib container roundtrip test ".repeat(100);
+        let z = zlib_compress(&data, &CompressOptions::default());
+        assert_eq!(zlib_decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let z = zlib_compress(b"", &CompressOptions::default());
+        assert_eq!(zlib_decompress(&z).unwrap(), b"");
+    }
+
+    #[test]
+    fn header_check_bits_valid() {
+        let z = zlib_compress(b"x", &CompressOptions::default());
+        assert_eq!(((z[0] as u16) * 256 + z[1] as u16) % 31, 0);
+        assert_eq!(z[0] & 0x0F, 8);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let mut z = zlib_compress(b"data", &CompressOptions::default());
+        z[0] = 0x79; // CM=9
+        assert!(matches!(zlib_decompress(&z).unwrap_err(), ZlibError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_checksum_mismatch() {
+        let mut z = zlib_compress(b"data data", &CompressOptions::default());
+        let n = z.len();
+        z[n - 1] ^= 1;
+        assert_eq!(zlib_decompress(&z).unwrap_err(), ZlibError::BadChecksum);
+    }
+
+    #[test]
+    fn rejects_dictionary_flag() {
+        let mut z = zlib_compress(b"data", &CompressOptions::default());
+        z[1] |= 0x20;
+        // Repair FCHECK so only FDICT differs.
+        z[1] &= !0x1F;
+        let rem = ((z[0] as u16) * 256 + z[1] as u16) % 31;
+        if rem != 0 {
+            z[1] += (31 - rem) as u8;
+        }
+        assert_eq!(zlib_decompress(&z).unwrap_err(), ZlibError::NeedsDictionary);
+    }
+
+    #[test]
+    fn interop_with_python_zlib() {
+        use std::io::Write as _;
+        use std::process::{Command, Stdio};
+        let probe = Command::new("python3").arg("-c").arg("import zlib").status();
+        if !probe.map(|s| s.success()).unwrap_or(false) {
+            eprintln!("python3 unavailable; skipping");
+            return;
+        }
+        let payload = b"registry layer manifest ".repeat(200);
+        let z = zlib_compress(&payload, &CompressOptions::default());
+        let mut child = Command::new("python3")
+            .args(["-c", "import sys,zlib; sys.stdout.buffer.write(zlib.decompress(sys.stdin.buffer.read()))"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.take().unwrap().write_all(&z).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success());
+        assert_eq!(out.stdout, payload);
+    }
+}

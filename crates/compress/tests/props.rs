@@ -1,0 +1,78 @@
+//! Property and interoperability tests for the DEFLATE/gzip codec.
+
+use dhub_compress::{deflate, gzip_compress, gzip_decompress, inflate, CompressOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// inflate(deflate(x)) == x for arbitrary bytes.
+    #[test]
+    fn deflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = deflate(&data, &CompressOptions::default());
+        prop_assert_eq!(inflate(&c).unwrap(), data);
+    }
+
+    /// Same for highly repetitive input (exercises long matches and RLE).
+    #[test]
+    fn deflate_roundtrip_repetitive(byte in any::<u8>(), n in 0usize..50_000, period in 1usize..64) {
+        let data: Vec<u8> = (0..n).map(|i| byte.wrapping_add((i % period) as u8)).collect();
+        let c = deflate(&data, &CompressOptions::default());
+        prop_assert_eq!(inflate(&c).unwrap(), data);
+    }
+
+    /// gzip framing roundtrip with integrity checks intact.
+    #[test]
+    fn gzip_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..10_000)) {
+        let gz = gzip_compress(&data, &CompressOptions::fast());
+        prop_assert_eq!(gzip_decompress(&gz).unwrap(), data);
+    }
+
+    /// The decoder never panics on arbitrary garbage.
+    #[test]
+    fn inflate_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2_000)) {
+        let _ = inflate(&data);
+        let _ = gzip_decompress(&data);
+    }
+}
+
+/// Interop: our gzip output must be readable by an independent
+/// implementation (python zlib) and vice versa. Skipped when python3 is not
+/// on PATH so the suite stays hermetic.
+#[test]
+fn interop_with_system_zlib() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+    let probe = Command::new("python3").arg("-c").arg("import zlib").status();
+    if !probe.map(|s| s.success()).unwrap_or(false) {
+        eprintln!("python3/zlib unavailable; skipping interop test");
+        return;
+    }
+    let payload: Vec<u8> = b"etc/apt/sources.list usr/lib/libc.so.6 var/lib/dpkg/status "
+        .repeat(300);
+
+    // Ours -> theirs.
+    let gz = gzip_compress(&payload, &CompressOptions::default());
+    let mut child = Command::new("python3")
+        .args(["-c", "import sys,gzip; sys.stdout.buffer.write(gzip.decompress(sys.stdin.buffer.read()))"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(&gz).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(out.stdout, payload, "python could not read our gzip output");
+
+    // Theirs -> ours.
+    let mut child = Command::new("python3")
+        .args(["-c", "import sys,gzip; sys.stdout.buffer.write(gzip.compress(sys.stdin.buffer.read(), 6))"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(&payload).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(gzip_decompress(&out.stdout).unwrap(), payload, "we could not read python gzip output");
+}

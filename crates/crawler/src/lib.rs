@@ -1,0 +1,116 @@
+//! The Docker Hub crawler (§III-A of the paper).
+//!
+//! Docker Hub offers no list-all-repositories API. The paper's crawler
+//! exploited the naming scheme instead: every non-official repository name
+//! contains a `/`, so searching for `"/"` returns all of them; the crawler
+//! then pages through the HTML results, parses out repository names, and
+//! deduplicates (the real index returned 634,412 rows for 457,627 distinct
+//! repositories). This crate does exactly that against the simulated
+//! search front-end, plus the short known list of official repositories.
+
+mod parse;
+
+pub use parse::{parse_results_page, PageError, PageInfo, ParsedPage};
+
+use dhub_model::RepoName;
+use dhub_registry::SearchIndex;
+use std::collections::BTreeSet;
+
+/// Crawl statistics, mirroring the paper's reported numbers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrawlReport {
+    /// Rows seen across all result pages (duplicates included) — the
+    /// paper's 634,412.
+    pub raw_results: usize,
+    /// Distinct repositories after dedup — the paper's 457,627.
+    pub distinct_repos: usize,
+    /// Pages fetched.
+    pub pages_fetched: usize,
+}
+
+/// Crawl outcome: the deduplicated repository list plus statistics.
+#[derive(Clone, Debug)]
+pub struct CrawlResult {
+    pub repos: Vec<RepoName>,
+    pub report: CrawlReport,
+}
+
+/// Crawls the search index: pages through the `"/"` query, parses each
+/// HTML page, dedups, and appends `known_official` (the paper hardcodes
+/// the <200 official repositories, which the slash trick cannot find).
+pub fn crawl(search: &SearchIndex, known_official: &[RepoName]) -> CrawlResult {
+    let mut seen: BTreeSet<RepoName> = BTreeSet::new();
+    let mut report = CrawlReport::default();
+
+    let mut page = 0usize;
+    loop {
+        let result = search.search("/", page);
+        report.pages_fetched += 1;
+        let parsed = parse_results_page(&result.html).expect("hub returned malformed page");
+        report.raw_results += parsed.repos.len();
+        for name in parsed.repos {
+            seen.insert(name);
+        }
+        page += 1;
+        if page >= parsed.info.total_pages {
+            break;
+        }
+    }
+
+    for o in known_official {
+        seen.insert(o.clone());
+    }
+    report.distinct_repos = seen.len();
+    CrawlResult { repos: seen.into_iter().collect(), report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repos(n: usize) -> Vec<RepoName> {
+        (0..n).map(|i| RepoName::user(&format!("u{}", i % 7), &format!("r{i}"))).collect()
+    }
+
+    #[test]
+    fn crawl_recovers_all_repos_despite_duplicates() {
+        let all = repos(500);
+        let index = SearchIndex::build(all.clone(), 1.386, 25);
+        let result = crawl(&index, &[]);
+        assert_eq!(result.report.distinct_repos, 500);
+        assert!(result.report.raw_results > 600, "raw {:?}", result.report);
+        let mut expect = all;
+        expect.sort();
+        assert_eq!(result.repos, expect);
+    }
+
+    #[test]
+    fn officials_come_from_the_known_list() {
+        let mut all = repos(50);
+        all.push(RepoName::official("nginx"));
+        let index = SearchIndex::build(all, 1.0, 10);
+        // Slash search can't see nginx...
+        let without = crawl(&index, &[]);
+        assert!(!without.repos.iter().any(|r| r.is_official()));
+        // ...but the known-official list adds it.
+        let with = crawl(&index, &[RepoName::official("nginx")]);
+        assert_eq!(with.report.distinct_repos, 51);
+        assert!(with.repos.iter().any(|r| r.full() == "nginx"));
+    }
+
+    #[test]
+    fn single_page_index() {
+        let index = SearchIndex::build(repos(5), 1.0, 100);
+        let result = crawl(&index, &[]);
+        assert_eq!(result.report.pages_fetched, 1);
+        assert_eq!(result.report.distinct_repos, 5);
+    }
+
+    #[test]
+    fn report_duplication_factor() {
+        let index = SearchIndex::build(repos(1000), 1.386, 25);
+        let r = crawl(&index, &[]).report;
+        let factor = r.raw_results as f64 / r.distinct_repos as f64;
+        assert!((1.3..1.5).contains(&factor), "factor {factor}");
+    }
+}

@@ -1,0 +1,132 @@
+//! HTML result-page parsing.
+//!
+//! A small, forgiving scanner (not a full HTML parser): it extracts
+//! `class="repo-link"` anchors and the paginator's `data-page`/`data-total`
+//! attributes, tolerating attribute reordering and extra markup — the same
+//! level of robustness a real scraper needs against the Hub's markup.
+
+use dhub_model::RepoName;
+
+/// Paginator metadata found on a page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageInfo {
+    pub page: usize,
+    pub total_pages: usize,
+}
+
+/// Everything extracted from one result page.
+#[derive(Clone, Debug)]
+pub struct ParsedPage {
+    pub repos: Vec<RepoName>,
+    pub info: PageInfo,
+}
+
+/// Parse errors (malformed or unexpected markup).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageError {
+    /// No paginator found.
+    MissingPaginator,
+    /// Paginator attributes not numeric.
+    BadPaginator,
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageError::MissingPaginator => f.write_str("missing paginator element"),
+            PageError::BadPaginator => f.write_str("malformed paginator attributes"),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// Extracts repo links and pagination from a results page.
+pub fn parse_results_page(html: &str) -> Result<ParsedPage, PageError> {
+    let mut repos = Vec::new();
+    for anchor in html.split("<a ").skip(1) {
+        let tag_end = anchor.find('>').unwrap_or(anchor.len());
+        let attrs = &anchor[..tag_end];
+        if !attrs.contains("repo-link") {
+            continue;
+        }
+        // Anchor text up to the closing tag is the repository name.
+        let rest = &anchor[tag_end + 1..];
+        let text_end = rest.find("</a>").unwrap_or(rest.len());
+        let name = rest[..text_end].trim();
+        if let Some(repo) = RepoName::parse(name) {
+            repos.push(repo);
+        }
+    }
+
+    let info = parse_paginator(html)?;
+    Ok(ParsedPage { repos, info })
+}
+
+fn parse_paginator(html: &str) -> Result<PageInfo, PageError> {
+    let pag = html.find("class=\"paginator\"").ok_or(PageError::MissingPaginator)?;
+    let tail = &html[pag..html.len().min(pag + 256)];
+    let page = attr_value(tail, "data-page").ok_or(PageError::BadPaginator)?;
+    let total = attr_value(tail, "data-total").ok_or(PageError::BadPaginator)?;
+    Ok(PageInfo { page, total_pages: total })
+}
+
+fn attr_value(s: &str, attr: &str) -> Option<usize> {
+    let key = format!("{attr}=\"");
+    let start = s.find(&key)? + key.len();
+    let end = s[start..].find('"')? + start;
+    s[start..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_generated_page() {
+        let html = "<!DOCTYPE html><html><body><ul class=\"search-results\">\n  \
+            <li class=\"repo-row\"><a class=\"repo-link\" href=\"/r/alice/web\">alice/web</a></li>\n  \
+            <li class=\"repo-row\"><a class=\"repo-link\" href=\"/r/bob/db\">bob/db</a></li>\n\
+            </ul><div class=\"paginator\" data-page=\"2\" data-total=\"9\"></div></body></html>";
+        let p = parse_results_page(html).unwrap();
+        assert_eq!(p.repos.len(), 2);
+        assert_eq!(p.repos[0].full(), "alice/web");
+        assert_eq!(p.info, PageInfo { page: 2, total_pages: 9 });
+    }
+
+    #[test]
+    fn ignores_unrelated_anchors() {
+        let html = "<a href=\"/login\">login</a><a class=\"nav\">x</a>\
+            <div class=\"paginator\" data-page=\"0\" data-total=\"1\"></div>";
+        let p = parse_results_page(html).unwrap();
+        assert!(p.repos.is_empty());
+    }
+
+    #[test]
+    fn tolerates_attribute_reordering() {
+        let html = "<a href=\"/r/x/y\" class=\"repo-link shiny\">x/y</a>\
+            <div id=\"p\" class=\"paginator\" data-total=\"3\" data-page=\"1\"></div>";
+        let p = parse_results_page(html).unwrap();
+        assert_eq!(p.repos[0].full(), "x/y");
+        assert_eq!(p.info.total_pages, 3);
+    }
+
+    #[test]
+    fn missing_paginator_is_error() {
+        assert_eq!(parse_results_page("<p>empty</p>").unwrap_err(), PageError::MissingPaginator);
+    }
+
+    #[test]
+    fn malformed_paginator_is_error() {
+        let html = "<div class=\"paginator\" data-page=\"x\" data-total=\"3\"></div>";
+        assert_eq!(parse_results_page(html).unwrap_err(), PageError::BadPaginator);
+    }
+
+    #[test]
+    fn skips_unparseable_names() {
+        let html = "<a class=\"repo-link\">a/b/c</a><a class=\"repo-link\">ok/name</a>\
+            <div class=\"paginator\" data-page=\"0\" data-total=\"1\"></div>";
+        let p = parse_results_page(html).unwrap();
+        assert_eq!(p.repos.len(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Cross-layer and cross-image file duplicates (Fig. 26).
+//!
+//! A file is a *cross-layer duplicate* if its content appears in more than
+//! one distinct layer (layer sharing cannot eliminate it). The figure
+//! plots, per layer, the fraction of its files that are cross-layer
+//! duplicates — and likewise per image.
+
+use crate::ImageLayers;
+use dhub_digest::{FxHashMap, FxHashSet};
+use dhub_model::{Digest, LayerProfile};
+use dhub_par::ShardedMap;
+
+/// Per-layer and per-image duplicate fractions.
+#[derive(Clone, Debug)]
+pub struct CrossDuplicates {
+    /// For each non-empty layer: fraction of its files duplicated across
+    /// layers (0..=1).
+    pub layer_fractions: Vec<f64>,
+    /// For each non-empty image: fraction of its files duplicated across
+    /// images.
+    pub image_fractions: Vec<f64>,
+}
+
+impl CrossDuplicates {
+    fn quantile(sorted: &[f64], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// p10 of layer fractions — the paper states "90 % of layers contain
+    /// more than 97.6 % duplicated files", i.e. the 10th percentile.
+    pub fn layer_p10(&self) -> f64 {
+        let mut v = self.layer_fractions.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self::quantile(&v, 0.1)
+    }
+
+    /// p10 of image fractions (paper: 99.4 %).
+    pub fn image_p10(&self) -> f64 {
+        let mut v = self.image_fractions.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self::quantile(&v, 0.1)
+    }
+}
+
+/// Computes both fraction distributions.
+pub fn cross_duplicates(
+    layers: &[&LayerProfile],
+    images: &[ImageLayers],
+    profiles: &FxHashMap<Digest, LayerProfile>,
+    threads: usize,
+) -> CrossDuplicates {
+    // How many distinct layers contain each file digest.
+    let layer_occurrences: ShardedMap<Digest, u32> = ShardedMap::new(64);
+    dhub_par::par_for_each(threads, layers, |layer| {
+        let mut seen = FxHashSet::default();
+        for f in &layer.files {
+            if seen.insert(f.digest) {
+                layer_occurrences.update(f.digest, |c| *c += 1);
+            }
+        }
+    });
+
+    let layer_fractions: Vec<f64> = layers
+        .iter()
+        .filter(|l| !l.files.is_empty())
+        .map(|l| {
+            let dup = l
+                .files
+                .iter()
+                .filter(|f| layer_occurrences.get_clone(&f.digest).unwrap_or(0) > 1)
+                .count();
+            dup as f64 / l.files.len() as f64
+        })
+        .collect();
+
+    // How many distinct images contain each file digest.
+    let image_occurrences: ShardedMap<Digest, u32> = ShardedMap::new(64);
+    dhub_par::par_for_each(threads, images, |img| {
+        let mut seen = FxHashSet::default();
+        for ld in &img.layers {
+            if let Some(lp) = profiles.get(ld) {
+                for f in &lp.files {
+                    if seen.insert(f.digest) {
+                        image_occurrences.update(f.digest, |c| *c += 1);
+                    }
+                }
+            }
+        }
+    });
+
+    let image_fractions: Vec<f64> = images
+        .iter()
+        .filter_map(|img| {
+            let mut total = 0usize;
+            let mut dup = 0usize;
+            for ld in &img.layers {
+                if let Some(lp) = profiles.get(ld) {
+                    for f in &lp.files {
+                        total += 1;
+                        if image_occurrences.get_clone(&f.digest).unwrap_or(0) > 1 {
+                            dup += 1;
+                        }
+                    }
+                }
+            }
+            if total == 0 {
+                None
+            } else {
+                Some(dup as f64 / total as f64)
+            }
+        })
+        .collect();
+
+    CrossDuplicates { layer_fractions, image_fractions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_model::{FileKind, FileRecord};
+
+    fn file(tag: &str) -> FileRecord {
+        FileRecord { path: tag.into(), digest: Digest::of(tag.as_bytes()), kind: FileKind::AsciiText, size: 10 }
+    }
+
+    fn layer(id: u8, tags: &[&str]) -> LayerProfile {
+        LayerProfile {
+            digest: Digest::of(&[id]),
+            fls: 10 * tags.len() as u64,
+            cls: 5,
+            dir_count: 1,
+            file_count: tags.len() as u64,
+            max_depth: 1,
+            files: tags.iter().map(|t| file(t)).collect(),
+        }
+    }
+
+    #[test]
+    fn layer_fractions_computed() {
+        // "shared" in both layers; "only1"/"only2" unique to one layer.
+        let l1 = layer(1, &["shared", "only1"]);
+        let l2 = layer(2, &["shared", "only2", "only2b"]);
+        let mut profiles = FxHashMap::default();
+        profiles.insert(l1.digest, l1.clone());
+        profiles.insert(l2.digest, l2.clone());
+        let cd = cross_duplicates(&[&l1, &l2], &[], &profiles, 2);
+        let mut fr = cd.layer_fractions.clone();
+        fr.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((fr[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((fr[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_digest_twice_in_one_layer_is_not_cross_layer() {
+        let l1 = layer(1, &["dup", "dup"]);
+        let l2 = layer(2, &["other"]);
+        let profiles = FxHashMap::default();
+        let cd = cross_duplicates(&[&l1, &l2], &[], &profiles, 1);
+        // "dup" appears in only one distinct layer ⇒ not a cross-layer dup.
+        assert_eq!(cd.layer_fractions, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn image_fractions_computed() {
+        let l1 = layer(1, &["a", "b"]);
+        let l2 = layer(2, &["a", "c"]);
+        let l3 = layer(3, &["z"]);
+        let mut profiles = FxHashMap::default();
+        for l in [&l1, &l2, &l3] {
+            profiles.insert(l.digest, l.clone());
+        }
+        // Image 1 = {l1}, image 2 = {l2, l3}: file "a" in both images.
+        let images = vec![
+            ImageLayers { layers: vec![l1.digest] },
+            ImageLayers { layers: vec![l2.digest, l3.digest] },
+        ];
+        let cd = cross_duplicates(&[&l1, &l2, &l3], &images, &profiles, 2);
+        let mut fr = cd.image_fractions.clone();
+        fr.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Image 2: "a" of 3 files dup; image 1: "a" of 2 files dup.
+        assert!((fr[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((fr[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_layers_excluded() {
+        let l1 = layer(1, &[]);
+        let profiles = FxHashMap::default();
+        let cd = cross_duplicates(&[&l1], &[], &profiles, 1);
+        assert!(cd.layer_fractions.is_empty());
+        assert_eq!(cd.layer_p10(), 0.0);
+    }
+
+    #[test]
+    fn p10_matches_paper_reading() {
+        // 10 layers: 9 fully duplicated, 1 at 0.5 ⇒ p10 = 0.5.
+        let shared = layer(0, &["s1", "s2"]);
+        let mut layers = vec![shared.clone()];
+        for i in 1..9 {
+            layers.push(layer(i, &["s1", "s2"]));
+        }
+        layers.push(layer(9, &["s1", "u"]));
+        let refs: Vec<&LayerProfile> = layers.iter().collect();
+        let cd = cross_duplicates(&refs, &[], &FxHashMap::default(), 2);
+        assert!((cd.layer_p10() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,227 @@
+//! File-level deduplication (Fig. 24 and the paper's headline numbers:
+//! only 3.2 % of files unique; 31.5× by count, 6.9× by capacity).
+
+use dhub_model::{FileKind, LayerProfile};
+use dhub_par::ShardedMap;
+
+/// Per-unique-file aggregate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileEntry {
+    /// Number of instances (copies) across all layers.
+    pub copies: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Classified kind (identical content ⇒ identical kind).
+    pub kind: Option<FileKind>,
+}
+
+/// Dedup statistics over a layer population.
+#[derive(Clone, Debug)]
+pub struct FileDedupStats {
+    pub total_instances: u64,
+    pub unique_files: u64,
+    /// Logical bytes (every instance counted).
+    pub total_bytes: u64,
+    /// Physical bytes after dedup (each unique file once).
+    pub unique_bytes: u64,
+    /// Copy count of every unique file, descending.
+    pub repeat_counts: Vec<u64>,
+    /// Copy count and size of the most-repeated file.
+    pub max_repeat: u64,
+    pub max_repeat_size: u64,
+}
+
+impl FileDedupStats {
+    /// The paper's count dedup ratio (31.5× at full scale).
+    pub fn count_ratio(&self) -> f64 {
+        if self.unique_files == 0 {
+            1.0
+        } else {
+            self.total_instances as f64 / self.unique_files as f64
+        }
+    }
+
+    /// The paper's capacity dedup ratio (6.9× at full scale).
+    pub fn capacity_ratio(&self) -> f64 {
+        if self.unique_bytes == 0 {
+            1.0
+        } else {
+            self.total_bytes as f64 / self.unique_bytes as f64
+        }
+    }
+
+    /// Fraction of files that remain after dedup (paper: 3.2 %).
+    pub fn unique_fraction(&self) -> f64 {
+        if self.total_instances == 0 {
+            0.0
+        } else {
+            self.unique_files as f64 / self.total_instances as f64
+        }
+    }
+
+    /// Fraction of *instances* whose file has more than one copy
+    /// (paper: 99.4 %).
+    pub fn duplicated_instance_fraction(&self) -> f64 {
+        if self.total_instances == 0 {
+            return 0.0;
+        }
+        let dup_instances: u64 = self.repeat_counts.iter().filter(|&&c| c > 1).sum();
+        dup_instances as f64 / self.total_instances as f64
+    }
+
+    /// Instance-weighted repeat counts for Fig. 24's CDF ("50 % of files
+    /// have exactly 4 copies" weights each *instance* by its file's copy
+    /// count). Returns `(copies, instances_with_that_count)` ascending.
+    pub fn repeat_histogram(&self) -> Vec<(u64, u64)> {
+        let mut map = std::collections::BTreeMap::new();
+        for &c in &self.repeat_counts {
+            *map.entry(c).or_insert(0u64) += c; // weight by instances
+        }
+        map.into_iter().collect()
+    }
+}
+
+/// Builds the dedup index over all files in all layers, in parallel.
+pub fn file_dedup(layers: &[&LayerProfile], threads: usize) -> FileDedupStats {
+    let index: ShardedMap<dhub_model::Digest, FileEntry> = ShardedMap::new(64);
+    dhub_par::par_for_each(threads, layers, |layer| {
+        for f in &layer.files {
+            index.update(f.digest, |e| {
+                e.copies += 1;
+                e.size = f.size;
+                e.kind = Some(f.kind);
+            });
+        }
+    });
+
+    let mut total_instances = 0u64;
+    let mut total_bytes = 0u64;
+    let mut unique_bytes = 0u64;
+    let mut repeat_counts = Vec::new();
+    let mut max_repeat = 0u64;
+    let mut max_repeat_size = 0u64;
+    let entries = index.into_entries();
+    let unique_files = entries.len() as u64;
+    for (_, e) in entries {
+        total_instances += e.copies;
+        total_bytes += e.copies * e.size;
+        unique_bytes += e.size;
+        repeat_counts.push(e.copies);
+        if e.copies > max_repeat {
+            max_repeat = e.copies;
+            max_repeat_size = e.size;
+        }
+    }
+    repeat_counts.sort_unstable_by(|a, b| b.cmp(a));
+
+    FileDedupStats {
+        total_instances,
+        unique_files,
+        total_bytes,
+        unique_bytes,
+        repeat_counts,
+        max_repeat,
+        max_repeat_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_model::{Digest, FileRecord};
+
+    fn file(content: &[u8], size: u64) -> FileRecord {
+        FileRecord {
+            path: "p".into(),
+            digest: Digest::of(content),
+            kind: FileKind::AsciiText,
+            size,
+        }
+    }
+
+    fn layer(files: Vec<FileRecord>) -> LayerProfile {
+        LayerProfile {
+            digest: Digest::of(&[files.len() as u8]),
+            fls: files.iter().map(|f| f.size).sum(),
+            cls: 10,
+            dir_count: 1,
+            file_count: files.len() as u64,
+            max_depth: 1,
+            files,
+        }
+    }
+
+    #[test]
+    fn counts_copies_across_layers() {
+        let l1 = layer(vec![file(b"a", 100), file(b"b", 50)]);
+        let l2 = layer(vec![file(b"a", 100), file(b"c", 25)]);
+        let l3 = layer(vec![file(b"a", 100)]);
+        let stats = file_dedup(&[&l1, &l2, &l3], 2);
+        assert_eq!(stats.total_instances, 5);
+        assert_eq!(stats.unique_files, 3);
+        assert_eq!(stats.total_bytes, 300 + 50 + 25);
+        assert_eq!(stats.unique_bytes, 175);
+        assert_eq!(stats.max_repeat, 3);
+        assert_eq!(stats.max_repeat_size, 100);
+        assert!((stats.count_ratio() - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unique_fraction_and_dup_instances() {
+        let l1 = layer(vec![file(b"a", 10), file(b"a", 10), file(b"b", 10)]);
+        let stats = file_dedup(&[&l1], 1);
+        assert_eq!(stats.total_instances, 3);
+        assert_eq!(stats.unique_files, 2);
+        assert!((stats.unique_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        // "a" contributes 2 duplicated instances; "b" none.
+        assert!((stats.duplicated_instance_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeat_histogram_instance_weighted() {
+        // 1 file with 4 copies, 2 files with 1 copy.
+        let l = layer(vec![
+            file(b"x", 1),
+            file(b"x", 1),
+            file(b"x", 1),
+            file(b"x", 1),
+            file(b"y", 1),
+            file(b"z", 1),
+        ]);
+        let stats = file_dedup(&[&l], 1);
+        let hist = stats.repeat_histogram();
+        assert_eq!(hist, vec![(1, 2), (4, 4)]);
+    }
+
+    #[test]
+    fn empty_population() {
+        let stats = file_dedup(&[], 4);
+        assert_eq!(stats.count_ratio(), 1.0);
+        assert_eq!(stats.capacity_ratio(), 1.0);
+        assert_eq!(stats.unique_fraction(), 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let layers: Vec<LayerProfile> = (0..50)
+            .map(|i| {
+                layer(
+                    (0..20)
+                        .map(|j| file(format!("{}", (i * j) % 37).as_bytes(), 10))
+                        .collect(),
+                )
+            })
+            .collect();
+        let refs: Vec<&LayerProfile> = layers.iter().collect();
+        let a = file_dedup(&refs, 1);
+        let b = file_dedup(&refs, 8);
+        assert_eq!(a.total_instances, b.total_instances);
+        assert_eq!(a.unique_files, b.unique_files);
+        assert_eq!(a.total_bytes, b.total_bytes);
+        let mut ra = a.repeat_counts.clone();
+        let mut rb = b.repeat_counts.clone();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        assert_eq!(ra, rb);
+    }
+}

@@ -1,0 +1,22 @@
+//! File-level deduplicating layer store.
+//!
+//! The paper concludes that "file-level deduplication can eliminate 96.8 %
+//! of the files" and plans to "utilize our deduplication observations to
+//! improve storage efficiency for Docker registry" (§VI). This crate is
+//! that improvement, built: a registry-side store that ingests gzip layer
+//! tarballs, splits them into content-addressed *file objects* shared
+//! across all layers, and keeps a per-layer *recipe* (entry list +
+//! metadata + file digests) from which the layer can be reconstructed on
+//! demand (cf. Slimmer \[16\] and "Carving perfect layers" \[30\], both cited
+//! by the paper).
+//!
+//! * [`recipe`] — the layer recipe model with JSON (de)serialization,
+//! * [`store`] — the store itself: ingest, reconstruct, per-file
+//!   refcounting, layer deletion with garbage collection, and savings
+//!   accounting.
+
+pub mod recipe;
+pub mod store;
+
+pub use recipe::{EntryMeta, LayerRecipe, RecipeEntryKind};
+pub use store::{DedupStore, IngestStats, StoreError, StoreStats};

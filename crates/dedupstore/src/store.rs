@@ -1,0 +1,361 @@
+//! The deduplicating store itself.
+
+use crate::recipe::{EntryMeta, LayerRecipe, RecipeEntryKind};
+use dhub_compress::{gzip_compress, gzip_decompress, CompressOptions};
+use dhub_digest::FxHashMap;
+use dhub_model::Digest;
+use dhub_tar::{read_archive, EntryKind, TarEntry, Writer};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Errors from store operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Layer blob failed to decode (gzip or tar).
+    BadLayer(String),
+    /// No recipe for the requested layer.
+    UnknownLayer,
+    /// A recipe references a file object that is missing (store corruption).
+    MissingObject(Digest),
+    /// Layer already ingested.
+    AlreadyIngested,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::BadLayer(e) => write!(f, "undecodable layer: {e}"),
+            StoreError::UnknownLayer => f.write_str("unknown layer"),
+            StoreError::MissingObject(d) => write!(f, "missing file object {d:?}"),
+            StoreError::AlreadyIngested => f.write_str("layer already ingested"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Outcome of ingesting one layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// File entries in the layer.
+    pub files: u64,
+    /// Files whose content was new to the store.
+    pub new_files: u64,
+    /// Bytes actually added to the object store.
+    pub bytes_added: u64,
+    /// Bytes that were already present (saved by dedup).
+    pub bytes_deduped: u64,
+}
+
+/// Aggregate store statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub layers: usize,
+    pub unique_objects: usize,
+    /// Physical bytes held in the object store.
+    pub physical_bytes: u64,
+    /// Logical bytes across all ingested layers (Σ FLS).
+    pub logical_bytes: u64,
+    /// Compressed bytes the layers would occupy stored conventionally.
+    pub conventional_bytes: u64,
+}
+
+impl StoreStats {
+    /// Logical-to-physical dedup factor (the paper's capacity ratio).
+    pub fn dedup_factor(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.physical_bytes as f64
+        }
+    }
+}
+
+/// Reference-counted file object.
+struct ObjectEntry {
+    data: Arc<Vec<u8>>,
+    refs: u64,
+}
+
+/// A file-level deduplicating layer store.
+///
+/// Thread-safe: ingest/reconstruct may run concurrently from the analysis
+/// pipeline's workers.
+#[derive(Default)]
+pub struct DedupStore {
+    objects: RwLock<FxHashMap<Digest, ObjectEntry>>,
+    recipes: RwLock<FxHashMap<Digest, Arc<LayerRecipe>>>,
+    counters: RwLock<StoreStats>,
+}
+
+impl DedupStore {
+    /// Creates an empty store.
+    pub fn new() -> DedupStore {
+        DedupStore::default()
+    }
+
+    /// Ingests a gzip-compressed layer tarball under `layer_digest`.
+    pub fn ingest_layer(&self, layer_digest: Digest, blob: &[u8]) -> Result<IngestStats, StoreError> {
+        if self.recipes.read().contains_key(&layer_digest) {
+            return Err(StoreError::AlreadyIngested);
+        }
+        let tar = gzip_decompress(blob).map_err(|e| StoreError::BadLayer(e.to_string()))?;
+        let entries = read_archive(&tar).map_err(|e| StoreError::BadLayer(e.to_string()))?;
+
+        let mut stats = IngestStats::default();
+        let mut recipe_entries = Vec::with_capacity(entries.len());
+        {
+            let mut objects = self.objects.write();
+            for entry in entries {
+                let kind = match entry.kind {
+                    EntryKind::File(data) => {
+                        let digest = Digest::of(&data);
+                        stats.files += 1;
+                        match objects.get_mut(&digest) {
+                            Some(obj) => {
+                                obj.refs += 1;
+                                stats.bytes_deduped += data.len() as u64;
+                            }
+                            None => {
+                                stats.new_files += 1;
+                                stats.bytes_added += data.len() as u64;
+                                objects.insert(digest, ObjectEntry { data: Arc::new(data), refs: 1 });
+                            }
+                        }
+                        RecipeEntryKind::File(digest)
+                    }
+                    EntryKind::Dir => RecipeEntryKind::Dir,
+                    EntryKind::Symlink(t) => RecipeEntryKind::Symlink(t),
+                    EntryKind::Hardlink(t) => RecipeEntryKind::Hardlink(t),
+                };
+                recipe_entries.push(EntryMeta {
+                    path: entry.path,
+                    kind,
+                    mode: entry.mode,
+                    uid: entry.uid,
+                    gid: entry.gid,
+                    mtime: entry.mtime,
+                });
+            }
+        }
+        let recipe = LayerRecipe { layer_digest, entries: recipe_entries };
+        self.recipes.write().insert(layer_digest, Arc::new(recipe));
+
+        let mut c = self.counters.write();
+        c.layers += 1;
+        c.physical_bytes += stats.bytes_added;
+        c.logical_bytes += stats.bytes_added + stats.bytes_deduped;
+        c.conventional_bytes += blob.len() as u64;
+        c.unique_objects = self.objects.read().len();
+        Ok(stats)
+    }
+
+    /// Rebuilds the layer tarball (uncompressed) from its recipe. The
+    /// result contains the same entries, metadata, and order as the
+    /// original archive.
+    pub fn reconstruct_tar(&self, layer_digest: &Digest) -> Result<Vec<u8>, StoreError> {
+        let recipe = self.recipes.read().get(layer_digest).cloned().ok_or(StoreError::UnknownLayer)?;
+        let objects = self.objects.read();
+        let mut w = Writer::new();
+        for e in &recipe.entries {
+            let kind = match &e.kind {
+                RecipeEntryKind::File(d) => {
+                    let obj = objects.get(d).ok_or(StoreError::MissingObject(*d))?;
+                    EntryKind::File(obj.data.as_ref().clone())
+                }
+                RecipeEntryKind::Dir => EntryKind::Dir,
+                RecipeEntryKind::Symlink(t) => EntryKind::Symlink(t.clone()),
+                RecipeEntryKind::Hardlink(t) => EntryKind::Hardlink(t.clone()),
+            };
+            w.append(&TarEntry {
+                path: e.path.clone(),
+                kind,
+                mode: e.mode,
+                uid: e.uid,
+                gid: e.gid,
+                mtime: e.mtime,
+            });
+        }
+        Ok(w.finish())
+    }
+
+    /// Rebuilds and re-compresses the layer blob. With the deterministic
+    /// gzip writer this is byte-identical to the original for layers our
+    /// own tooling produced with the same options.
+    pub fn reconstruct_blob(&self, layer_digest: &Digest, opts: &CompressOptions) -> Result<Vec<u8>, StoreError> {
+        Ok(gzip_compress(&self.reconstruct_tar(layer_digest)?, opts))
+    }
+
+    /// The stored recipe for a layer.
+    pub fn recipe(&self, layer_digest: &Digest) -> Option<Arc<LayerRecipe>> {
+        self.recipes.read().get(layer_digest).cloned()
+    }
+
+    /// Removes a layer: drops its recipe, decrements object refcounts, and
+    /// garbage-collects objects that reached zero. Returns reclaimed bytes.
+    pub fn remove_layer(&self, layer_digest: &Digest) -> Result<u64, StoreError> {
+        let recipe = self.recipes.write().remove(layer_digest).ok_or(StoreError::UnknownLayer)?;
+        let mut objects = self.objects.write();
+        let mut reclaimed = 0u64;
+        let mut logical_removed = 0u64;
+        for d in recipe.file_digests() {
+            if let Some(obj) = objects.get_mut(&d) {
+                obj.refs -= 1;
+                logical_removed += obj.data.len() as u64;
+                if obj.refs == 0 {
+                    reclaimed += obj.data.len() as u64;
+                    objects.remove(&d);
+                }
+            }
+        }
+        let mut c = self.counters.write();
+        c.layers -= 1;
+        c.physical_bytes -= reclaimed;
+        c.logical_bytes -= logical_removed;
+        c.unique_objects = objects.len();
+        Ok(reclaimed)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        *self.counters.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(entries: &[TarEntry]) -> (Digest, Vec<u8>) {
+        let tar = dhub_tar::write_archive(entries);
+        let blob = gzip_compress(&tar, &CompressOptions::fast());
+        (Digest::of(&blob), blob)
+    }
+
+    fn file(path: &str, data: &[u8]) -> TarEntry {
+        TarEntry::file(path, data.to_vec())
+    }
+
+    #[test]
+    fn ingest_dedups_across_layers() {
+        let store = DedupStore::new();
+        let shared = b"the shared library bytes".as_slice();
+        let (d1, b1) = layer(&[file("usr/lib/libx.so", shared), file("etc/one", b"one")]);
+        let (d2, b2) = layer(&[file("opt/lib/libx.so", shared), file("etc/two", b"two")]);
+
+        let s1 = store.ingest_layer(d1, &b1).unwrap();
+        assert_eq!(s1.files, 2);
+        assert_eq!(s1.new_files, 2);
+        assert_eq!(s1.bytes_deduped, 0);
+
+        let s2 = store.ingest_layer(d2, &b2).unwrap();
+        assert_eq!(s2.files, 2);
+        assert_eq!(s2.new_files, 1, "shared lib must dedup");
+        assert_eq!(s2.bytes_deduped, shared.len() as u64);
+
+        let stats = store.stats();
+        assert_eq!(stats.layers, 2);
+        assert_eq!(stats.unique_objects, 3);
+        assert!(stats.dedup_factor() > 1.0);
+    }
+
+    #[test]
+    fn reconstruction_is_exact() {
+        let store = DedupStore::new();
+        let entries = vec![
+            TarEntry::dir("app"),
+            file("app/main.py", b"#!/usr/bin/env python\nprint('hi')\n"),
+            TarEntry::symlink("app/link", "main.py"),
+            file("app/empty", b""),
+        ];
+        let tar = dhub_tar::write_archive(&entries);
+        let blob = gzip_compress(&tar, &CompressOptions::fast());
+        let digest = Digest::of(&blob);
+        store.ingest_layer(digest, &blob).unwrap();
+
+        let rebuilt_tar = store.reconstruct_tar(&digest).unwrap();
+        assert_eq!(rebuilt_tar, tar, "tar must rebuild byte-identically");
+        let rebuilt_blob = store.reconstruct_blob(&digest, &CompressOptions::fast()).unwrap();
+        assert_eq!(rebuilt_blob, blob, "blob must rebuild byte-identically");
+        assert_eq!(Digest::of(&rebuilt_blob), digest);
+    }
+
+    #[test]
+    fn duplicate_ingest_rejected() {
+        let store = DedupStore::new();
+        let (d, b) = layer(&[file("f", b"x")]);
+        store.ingest_layer(d, &b).unwrap();
+        assert_eq!(store.ingest_layer(d, &b).unwrap_err(), StoreError::AlreadyIngested);
+    }
+
+    #[test]
+    fn corrupt_layer_rejected() {
+        let store = DedupStore::new();
+        let err = store.ingest_layer(Digest::of(b"x"), b"not gzip").unwrap_err();
+        assert!(matches!(err, StoreError::BadLayer(_)));
+        assert_eq!(store.stats().layers, 0);
+    }
+
+    #[test]
+    fn unknown_layer_errors() {
+        let store = DedupStore::new();
+        assert_eq!(store.reconstruct_tar(&Digest::of(b"ghost")).unwrap_err(), StoreError::UnknownLayer);
+        assert_eq!(store.remove_layer(&Digest::of(b"ghost")).unwrap_err(), StoreError::UnknownLayer);
+    }
+
+    #[test]
+    fn remove_layer_gc() {
+        let store = DedupStore::new();
+        let shared = b"shared-content".as_slice();
+        let (d1, b1) = layer(&[file("a", shared), file("only1", b"111")]);
+        let (d2, b2) = layer(&[file("b", shared)]);
+        store.ingest_layer(d1, &b1).unwrap();
+        store.ingest_layer(d2, &b2).unwrap();
+
+        // Removing layer 1 reclaims only its exclusive object.
+        let reclaimed = store.remove_layer(&d1).unwrap();
+        assert_eq!(reclaimed, 3);
+        let stats = store.stats();
+        assert_eq!(stats.layers, 1);
+        assert_eq!(stats.unique_objects, 1);
+        // Layer 2 still reconstructs.
+        assert!(store.reconstruct_tar(&d2).is_ok());
+        // Removing layer 2 reclaims the shared object too.
+        let reclaimed = store.remove_layer(&d2).unwrap();
+        assert_eq!(reclaimed, shared.len() as u64);
+        assert_eq!(store.stats().physical_bytes, 0);
+        assert_eq!(store.stats().unique_objects, 0);
+    }
+
+    #[test]
+    fn stats_track_conventional_bytes() {
+        let store = DedupStore::new();
+        let (d, b) = layer(&[file("f", &[7u8; 5000])]);
+        store.ingest_layer(d, &b).unwrap();
+        assert_eq!(store.stats().conventional_bytes, b.len() as u64);
+        assert_eq!(store.stats().logical_bytes, 5000);
+    }
+
+    #[test]
+    fn synthetic_layers_roundtrip_through_store() {
+        use dhub_synth::layergen::build_app_layer;
+        use dhub_synth::pool::FilePool;
+        use dhub_synth::SynthConfig;
+        let pool = FilePool::build(&SynthConfig::tiny(3), 20_000);
+        let store = DedupStore::new();
+        let mut total_dedup = 0u64;
+        for seed in 0..24u64 {
+            let l = build_app_layer(&pool, 0xDE0 + seed);
+            match store.ingest_layer(l.digest, &l.blob) {
+                Ok(s) => total_dedup += s.bytes_deduped,
+                Err(StoreError::AlreadyIngested) => continue, // seed collision: same blob
+                Err(e) => panic!("{e}"),
+            }
+            // Layers built by our own tooling round-trip to the same blob.
+            let rebuilt = store.reconstruct_blob(&l.digest, &CompressOptions::fast()).unwrap();
+            assert_eq!(rebuilt, l.blob);
+        }
+        assert!(total_dedup > 0, "synthetic layers share prototypes");
+        assert!(store.stats().dedup_factor() > 1.0);
+    }
+}

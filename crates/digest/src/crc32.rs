@@ -1,0 +1,111 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) as used by gzip.
+//!
+//! The gzip trailer carries a CRC-32 of the uncompressed payload; the
+//! from-scratch gzip implementation in `dhub-compress` both emits and checks
+//! it through this module. Uses the classic 8-entries-per-byte table lookup,
+//! with the table built in a `const fn` so there is no runtime init.
+
+/// Lookup table for one byte of input, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 state.
+///
+/// ```
+/// use dhub_digest::Crc32;
+/// let mut c = Crc32::new();
+/// c.update(b"123456789");
+/// assert_eq!(c.finalize(), 0xCBF43926);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Crc32 {
+    /// Internal state is the ones-complement of the running CRC.
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a fresh CRC state.
+    pub fn new() -> Self {
+        Crc32 { state: 0 }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = !self.state;
+        for &b in data {
+            c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        }
+        self.state = !c;
+    }
+
+    /// Returns the CRC over everything absorbed so far.
+    pub fn finalize(self) -> u32 {
+        self.state
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn known_strings() {
+        assert_eq!(crc32(b"a"), 0xE8B7BE43);
+        assert_eq!(crc32(b"abc"), 0x352441C2);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut c = Crc32::new();
+        for chunk in data.chunks(17) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn resumable_after_finalize_copy() {
+        // finalize takes self by value but Crc32 is Copy, so a snapshot works.
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        let mid = c;
+        c.update(b"56789");
+        assert_eq!(c.finalize(), 0xCBF43926);
+        assert_ne!(mid.finalize(), 0xCBF43926);
+    }
+}

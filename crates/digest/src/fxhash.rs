@@ -1,0 +1,134 @@
+//! FxHash-style fast non-cryptographic hashing.
+//!
+//! The dedup analysis keeps hundreds of thousands of digests in hash maps on
+//! the hot path; SipHash (std's default) is measurably slower there. This is
+//! the rustc `FxHasher` algorithm: fold each word into the state with a
+//! rotate, xor, and multiply by a fixed odd constant. Not DoS-resistant —
+//! fine here, keys are content digests, not attacker-controlled strings.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (64-bit golden-ratio-derived, as in rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rem.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes a byte slice in one shot.
+pub fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fxhash(b"hello"), fxhash(b"hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(fxhash(b"hello"), fxhash(b"hellp"));
+        assert_ne!(fxhash(b""), fxhash(b"\0"));
+        assert_ne!(fxhash(b"ab"), fxhash(b"ab\0"));
+    }
+
+    #[test]
+    fn length_extension_differs() {
+        // Trailing zero bytes must not collide with the shorter prefix.
+        assert_ne!(fxhash(b"12345678"), fxhash(b"12345678\0"));
+        assert_ne!(fxhash(b"1234567"), fxhash(b"12345670"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m["a"], 1);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn spread_over_buckets() {
+        // Sanity: hashing sequential integers should not collapse into a few
+        // values (guards against a broken mixer).
+        let mut seen = FxHashSet::default();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+}

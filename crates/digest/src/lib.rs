@@ -1,0 +1,19 @@
+//! From-scratch hashing primitives used across the Docker Hub study.
+//!
+//! Docker content-addresses every blob (layer tarballs, manifests) with
+//! SHA-256, gzip frames carry a CRC-32, and the deduplication analysis needs
+//! a fast non-cryptographic hash for its in-memory multimaps. All three live
+//! here with no external dependencies:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256 (incremental and one-shot),
+//! * [`crc32`] — the IEEE 802.3 CRC-32 used by gzip,
+//! * [`fxhash`] — an FxHash-style mixer plus [`FxHashMap`]/[`FxHashSet`]
+//!   aliases for hot hash tables, per the Rust perf-book guidance.
+
+pub mod crc32;
+pub mod fxhash;
+pub mod sha256;
+
+pub use crc32::{crc32, Crc32};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use sha256::{sha256, sha256_hex, Sha256};

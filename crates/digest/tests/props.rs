@@ -1,0 +1,43 @@
+//! Property tests for the hashing primitives.
+
+use dhub_digest::{crc32, sha256, Crc32, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing over arbitrary chunkings equals one-shot hashing.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                 cuts in proptest::collection::vec(0usize..4096, 0..8)) {
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        bounds.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for b in bounds {
+            h.update(&data[prev..b]);
+            prev = b;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// CRC over arbitrary split equals one-shot CRC.
+    #[test]
+    fn crc32_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                cut in 0usize..4096) {
+        let cut = cut % (data.len() + 1);
+        let mut c = Crc32::new();
+        c.update(&data[..cut]);
+        c.update(&data[cut..]);
+        prop_assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    /// Different inputs yield different SHA-256 digests (collision would be
+    /// astronomically unlikely; a hit means the implementation is broken).
+    #[test]
+    fn sha256_injective_in_practice(a in proptest::collection::vec(any::<u8>(), 0..256),
+                                    b in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+}

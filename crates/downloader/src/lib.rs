@@ -1,0 +1,385 @@
+//! Parallel image downloader (§III-B of the paper).
+//!
+//! The paper bypassed `docker pull` (which unpacks layers and writes
+//! storage-driver snapshots) and talked to the Registry API directly:
+//! resolve `latest`, then fetch each referenced layer — and *only unique
+//! layers*, skipping blobs already fetched for another image. The same
+//! logic runs here over the in-process registry: a worker crew downloads
+//! images in parallel, a shared dedup set prevents duplicate layer
+//! fetches, and the failure taxonomy (auth vs. missing `latest`) is
+//! tallied exactly as the paper reports it.
+
+use dhub_model::{Digest, Manifest, RepoName};
+use dhub_par::ShardedMap;
+use dhub_registry::{ApiError, NetworkModel, Registry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One successfully downloaded image.
+#[derive(Clone, Debug)]
+pub struct DownloadedImage {
+    pub repo: RepoName,
+    pub manifest_digest: Digest,
+    pub manifest: Manifest,
+}
+
+/// Aggregate download outcome — the numbers behind the paper's
+/// "355,319 images / 1,792,609 unique layers / 111,384 failures (13 % auth,
+/// 87 % no latest)".
+#[derive(Debug, Default)]
+pub struct DownloadReport {
+    pub images_downloaded: usize,
+    pub unique_layers: usize,
+    /// Compressed bytes actually transferred (unique layers only).
+    pub bytes_fetched: u64,
+    /// Layer fetches skipped because another image already pulled the blob.
+    pub layer_fetches_skipped: u64,
+    pub failed_auth: usize,
+    pub failed_no_latest: usize,
+    pub failed_other: usize,
+    /// Simulated wall-clock transfer time under the network model, summed
+    /// over transfers (i.e. single-connection equivalent).
+    pub simulated_transfer: Duration,
+}
+
+impl DownloadReport {
+    /// Total failed images.
+    pub fn failures(&self) -> usize {
+        self.failed_auth + self.failed_no_latest + self.failed_other
+    }
+}
+
+/// Download result: per-image successes plus fetched unique layer blobs.
+pub struct DownloadResult {
+    pub images: Vec<DownloadedImage>,
+    /// Unique layer blobs, keyed by digest (decompressed later by the
+    /// analyzer).
+    pub layers: Vec<(Digest, Arc<Vec<u8>>)>,
+    pub report: DownloadReport,
+}
+
+/// Downloads the `latest` image of every repository in `repos` using
+/// `threads` parallel workers, fetching each unique layer once.
+pub fn download_all(
+    registry: &Registry,
+    repos: &[RepoName],
+    threads: usize,
+    net: &NetworkModel,
+) -> DownloadResult {
+    // digest → blob, populated once per unique layer.
+    let fetched: ShardedMap<Digest, Option<Arc<Vec<u8>>>> = ShardedMap::new(64);
+    let images: Mutex<Vec<DownloadedImage>> = Mutex::new(Vec::with_capacity(repos.len()));
+    let auth = AtomicU64::new(0);
+    let no_latest = AtomicU64::new(0);
+    let other = AtomicU64::new(0);
+    let skipped = AtomicU64::new(0);
+    let bytes = AtomicU64::new(0);
+    let sim_nanos = AtomicU64::new(0);
+
+    dhub_par::par_for_each(threads, repos, |repo| {
+        match registry.get_manifest(repo, "latest", false) {
+            Err(ApiError::AuthRequired) => {
+                auth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ApiError::TagNotFound) => {
+                no_latest.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                other.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(sess) => {
+                sim_nanos.fetch_add(net.transfer_time(1024).as_nanos() as u64, Ordering::Relaxed);
+                for layer in &sess.manifest.layers {
+                    // Claim the digest first so exactly one worker fetches it.
+                    let mut claimed = false;
+                    fetched.update(layer.digest, |slot| {
+                        if slot.is_none() {
+                            claimed = true;
+                            // Placeholder marks "claimed"; replaced below.
+                            *slot = Some(Arc::new(Vec::new()));
+                        }
+                    });
+                    if !claimed {
+                        skipped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let blob = registry.get_blob(&layer.digest).expect("manifest refs exist");
+                    bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                    sim_nanos.fetch_add(
+                        net.transfer_time(blob.len() as u64).as_nanos() as u64,
+                        Ordering::Relaxed,
+                    );
+                    fetched.update(layer.digest, |slot| *slot = Some(blob.clone()));
+                }
+                images.lock().push(DownloadedImage {
+                    repo: repo.clone(),
+                    manifest_digest: sess.manifest_digest,
+                    manifest: sess.manifest,
+                });
+            }
+        }
+    });
+
+    let layers: Vec<(Digest, Arc<Vec<u8>>)> = fetched
+        .into_entries()
+        .into_iter()
+        .map(|(d, blob)| (d, blob.expect("claimed blobs are filled")))
+        .collect();
+    let mut images = images.into_inner();
+    images.sort_by(|a, b| a.repo.cmp(&b.repo));
+
+    let report = DownloadReport {
+        images_downloaded: images.len(),
+        unique_layers: layers.len(),
+        bytes_fetched: bytes.load(Ordering::Relaxed),
+        layer_fetches_skipped: skipped.load(Ordering::Relaxed),
+        failed_auth: auth.load(Ordering::Relaxed) as usize,
+        failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
+        failed_other: other.load(Ordering::Relaxed) as usize,
+        simulated_transfer: Duration::from_nanos(sim_nanos.load(Ordering::Relaxed)),
+    };
+    DownloadResult { images, layers, report }
+}
+
+/// Downloads over the Registry V2 **HTTP** transport instead of in-process
+/// calls — the exact protocol path the paper's downloader took against
+/// `registry-1.docker.io`. Anonymous (no token dance), like the study.
+///
+/// Results are identical to [`download_all`] modulo the network model (the
+/// transfer here is real TCP, so no simulated duration is reported).
+pub fn download_all_http(
+    addr: std::net::SocketAddr,
+    repos: &[RepoName],
+    threads: usize,
+) -> DownloadResult {
+    use dhub_registry::http::ClientError;
+
+    let fetched: ShardedMap<Digest, Option<Arc<Vec<u8>>>> = ShardedMap::new(64);
+    let images: Mutex<Vec<DownloadedImage>> = Mutex::new(Vec::with_capacity(repos.len()));
+    let auth = AtomicU64::new(0);
+    let no_latest = AtomicU64::new(0);
+    let other = AtomicU64::new(0);
+    let skipped = AtomicU64::new(0);
+    let bytes = AtomicU64::new(0);
+
+    dhub_par::par_for_each(threads, repos, |repo| {
+        // One client per request batch; connections are per-request
+        // (connection: close), matching a crawl that cycles addresses.
+        let client = dhub_registry::RemoteRegistry::connect_anonymous(addr);
+        match client.get_manifest(repo, "latest") {
+            Err(ClientError::AuthRequired) => {
+                auth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ClientError::NotFound) => {
+                no_latest.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                other.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok((manifest_digest, manifest)) => {
+                for layer in &manifest.layers {
+                    let mut claimed = false;
+                    fetched.update(layer.digest, |slot| {
+                        if slot.is_none() {
+                            claimed = true;
+                            *slot = Some(Arc::new(Vec::new()));
+                        }
+                    });
+                    if !claimed {
+                        skipped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    match client.get_blob(repo, &layer.digest) {
+                        Ok(blob) => {
+                            bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                            let blob = Arc::new(blob);
+                            fetched.update(layer.digest, |slot| *slot = Some(blob.clone()));
+                        }
+                        Err(_) => {
+                            other.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                images.lock().push(DownloadedImage { repo: repo.clone(), manifest_digest, manifest });
+            }
+        }
+    });
+
+    let layers: Vec<(Digest, Arc<Vec<u8>>)> = fetched
+        .into_entries()
+        .into_iter()
+        .map(|(d, blob)| (d, blob.expect("claimed blobs are filled")))
+        .collect();
+    let mut images = images.into_inner();
+    images.sort_by(|a, b| a.repo.cmp(&b.repo));
+
+    let report = DownloadReport {
+        images_downloaded: images.len(),
+        unique_layers: layers.len(),
+        bytes_fetched: bytes.load(Ordering::Relaxed),
+        layer_fetches_skipped: skipped.load(Ordering::Relaxed),
+        failed_auth: auth.load(Ordering::Relaxed) as usize,
+        failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
+        failed_other: other.load(Ordering::Relaxed) as usize,
+        simulated_transfer: Duration::ZERO,
+    };
+    DownloadResult { images, layers, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_model::LayerRef;
+
+    fn registry_with(repos: &[(&str, &str, bool, &[u8])]) -> (Registry, Vec<RepoName>) {
+        let reg = Registry::new();
+        let mut names = Vec::new();
+        for (name, tag, auth, payload) in repos {
+            let repo = RepoName::parse(name).unwrap();
+            reg.create_repo(repo.clone(), *auth);
+            let blob = payload.to_vec();
+            let manifest =
+                Manifest::new(vec![LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 }]);
+            reg.push_image(&repo, tag, &manifest, vec![blob]).unwrap();
+            names.push(repo);
+        }
+        (reg, names)
+    }
+
+    #[test]
+    fn downloads_ok_images_and_counts_failures() {
+        let (reg, names) = registry_with(&[
+            ("a/ok1", "latest", false, b"layer-1"),
+            ("a/ok2", "latest", false, b"layer-2"),
+            ("b/private", "latest", true, b"secret"),
+            ("b/untagged", "v1", false, b"old"),
+        ]);
+        let res = download_all(&reg, &names, 4, &NetworkModel::datacenter());
+        assert_eq!(res.report.images_downloaded, 2);
+        assert_eq!(res.report.failed_auth, 1);
+        assert_eq!(res.report.failed_no_latest, 1);
+        assert_eq!(res.report.failures(), 2);
+        assert_eq!(res.layers.len(), 2);
+    }
+
+    #[test]
+    fn shared_layers_fetched_once() {
+        let shared = b"shared base layer".as_slice();
+        let specs: Vec<(String, &str, bool, &[u8])> =
+            (0..20).map(|i| (format!("u/app{i}"), "latest", false, shared)).collect();
+        let reg = Registry::new();
+        let mut names = Vec::new();
+        for (name, tag, auth, payload) in &specs {
+            let repo = RepoName::parse(name).unwrap();
+            reg.create_repo(repo.clone(), *auth);
+            let blob = payload.to_vec();
+            let manifest =
+                Manifest::new(vec![LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 }]);
+            reg.push_image(&repo, tag, &manifest, vec![blob]).unwrap();
+            names.push(repo);
+        }
+        let res = download_all(&reg, &names, 8, &NetworkModel::datacenter());
+        assert_eq!(res.report.images_downloaded, 20);
+        assert_eq!(res.report.unique_layers, 1);
+        assert_eq!(res.report.layer_fetches_skipped, 19);
+        assert_eq!(res.report.bytes_fetched, res.layers[0].1.len() as u64);
+    }
+
+    #[test]
+    fn download_counts_pulls_in_registry() {
+        let (reg, names) = registry_with(&[("x/y", "latest", false, b"p")]);
+        download_all(&reg, &names, 2, &NetworkModel::datacenter());
+        assert_eq!(reg.pull_count(&names[0]), Some(1));
+    }
+
+    #[test]
+    fn empty_repo_list() {
+        let (reg, _) = registry_with(&[]);
+        let res = download_all(&reg, &[], 4, &NetworkModel::datacenter());
+        assert_eq!(res.report.images_downloaded, 0);
+        assert!(res.layers.is_empty());
+    }
+
+    #[test]
+    fn simulated_transfer_positive() {
+        let (reg, names) = registry_with(&[("a/b", "latest", false, &[7u8; 100_000])]);
+        let res = download_all(&reg, &names, 1, &NetworkModel::wan());
+        assert!(res.report.simulated_transfer > Duration::from_millis(40));
+    }
+
+    #[test]
+    fn deterministic_image_order() {
+        let (reg, names) = registry_with(&[
+            ("z/last", "latest", false, b"1"),
+            ("a/first", "latest", false, b"2"),
+        ]);
+        let res = download_all(&reg, &names, 4, &NetworkModel::datacenter());
+        assert_eq!(res.images[0].repo.full(), "a/first");
+        assert_eq!(res.images[1].repo.full(), "z/last");
+    }
+}
+
+#[cfg(test)]
+mod http_tests {
+    use super::*;
+    use dhub_model::{LayerRef, Manifest};
+    use dhub_registry::RegistryServer;
+    use std::sync::Arc;
+
+    fn serve() -> (RegistryServer, Arc<Registry>, Vec<RepoName>) {
+        let reg = Arc::new(Registry::new());
+        let mut names = Vec::new();
+        let shared = b"shared-base".to_vec();
+        for (name, tag, auth, extra) in [
+            ("a/one", "latest", false, &b"only-one"[..]),
+            ("a/two", "latest", false, b"only-two"),
+            ("b/private", "latest", true, b"secret"),
+            ("b/old", "v1", false, b"old"),
+        ] {
+            let repo = RepoName::parse(name).unwrap();
+            reg.create_repo(repo.clone(), auth);
+            let blobs = vec![shared.clone(), extra.to_vec()];
+            let refs: Vec<LayerRef> = blobs
+                .iter()
+                .map(|b| LayerRef { digest: Digest::of(b), size: b.len() as u64 })
+                .collect();
+            reg.push_image(&repo, tag, &Manifest::new(refs), blobs).unwrap();
+            names.push(repo);
+        }
+        let srv = RegistryServer::start(reg.clone()).unwrap();
+        (srv, reg, names)
+    }
+
+    #[test]
+    fn http_download_matches_in_process() {
+        let (srv, reg, names) = serve();
+        let via_http = download_all_http(srv.addr(), &names, 4);
+        let in_proc = download_all(&reg, &names, 4, &dhub_registry::NetworkModel::datacenter());
+
+        assert_eq!(via_http.report.images_downloaded, in_proc.report.images_downloaded);
+        assert_eq!(via_http.report.failed_auth, in_proc.report.failed_auth);
+        assert_eq!(via_http.report.failed_no_latest, in_proc.report.failed_no_latest);
+        assert_eq!(via_http.report.unique_layers, in_proc.report.unique_layers);
+        assert_eq!(via_http.report.bytes_fetched, in_proc.report.bytes_fetched);
+
+        let mut h: Vec<Digest> = via_http.layers.iter().map(|(d, _)| *d).collect();
+        let mut p: Vec<Digest> = in_proc.layers.iter().map(|(d, _)| *d).collect();
+        h.sort();
+        p.sort();
+        assert_eq!(h, p);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn http_download_shares_layers_once() {
+        let (srv, _reg, names) = serve();
+        let res = download_all_http(srv.addr(), &names, 2);
+        // 2 public latest images share one base layer: 3 unique layers.
+        assert_eq!(res.report.images_downloaded, 2);
+        assert_eq!(res.report.unique_layers, 3);
+        assert_eq!(res.report.layer_fetches_skipped, 1);
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,15 @@
+//! Minimal JSON support for Docker image manifests.
+//!
+//! Docker stores image manifests as JSON documents; the registry substrate
+//! serializes and parses them through this crate. It is a small, complete
+//! implementation of RFC 8259: a [`Json`] value model, a recursive-descent
+//! [`parse`], and a deterministic writer (`Json::to_string` via `Display`) that emits
+//! object keys in insertion order so manifest bytes (and therefore their
+//! sha256 digests) are stable.
+
+mod parse;
+mod value;
+mod write;
+
+pub use parse::{parse, ParseError};
+pub use value::Json;

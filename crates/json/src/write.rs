@@ -1,0 +1,127 @@
+//! Deterministic JSON serialization.
+
+use crate::Json;
+use std::fmt::Write as _;
+
+/// Serializes a value to compact JSON (no extra whitespace).
+///
+/// Object keys are written in insertion order, which keeps manifest bytes —
+/// and therefore their sha256 digests — reproducible across runs.
+pub fn to_string(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; manifests never produce them, emit null
+        // rather than invalid output.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_output() {
+        let mut m = Json::obj();
+        m.set("a", 1u64).set("b", vec!["x", "y"]);
+        assert_eq!(to_string(&m), r#"{"a":1,"b":["x","y"]}"#);
+    }
+
+    #[test]
+    fn integers_without_fraction() {
+        assert_eq!(to_string(&Json::Num(5.0)), "5");
+        assert_eq!(to_string(&Json::Num(5.5)), "5.5");
+        assert_eq!(to_string(&Json::Num(-0.0)), "0");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let got = to_string(&Json::Str("a\"b\\c\nd\u{1}".into()));
+        assert_eq!(got, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let s = Json::Str("日本語 😀".into());
+        let encoded = to_string(&s);
+        assert_eq!(parse(&encoded).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrip_fixpoint() {
+        // parse(print(v)) == v and print is a fix-point after one iteration.
+        let src = r#"{"schemaVersion":2,"layers":[{"digest":"sha256:e3b0","size":0},{"digest":"sha256:ffff","size":123456789}],"config":null,"ok":true}"#;
+        let v = parse(src).unwrap();
+        let printed = to_string(&v);
+        assert_eq!(parse(&printed).unwrap(), v);
+        assert_eq!(to_string(&parse(&printed).unwrap()), printed);
+    }
+
+    #[test]
+    fn key_order_preserved() {
+        let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        assert_eq!(to_string(&v), r#"{"z":1,"a":2,"m":3}"#);
+    }
+}

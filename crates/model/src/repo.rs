@@ -1,0 +1,98 @@
+//! Repository naming.
+//!
+//! Docker Hub namespaces user repositories as `<username>/<repository>`;
+//! official repositories (served by Docker Inc. and partners) are bare
+//! `<repository>` names (§II-C). The crawler's "search for '/'" trick in
+//! §III-A relies on exactly this distinction.
+
+/// A repository name, official or user-namespaced.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RepoName {
+    /// `None` for official repositories.
+    pub namespace: Option<String>,
+    /// Repository name proper.
+    pub name: String,
+}
+
+impl RepoName {
+    /// An official repository (e.g. `nginx`).
+    pub fn official(name: &str) -> RepoName {
+        RepoName { namespace: None, name: name.to_string() }
+    }
+
+    /// A user repository (e.g. `conjurinc/developer-quiz`).
+    pub fn user(namespace: &str, name: &str) -> RepoName {
+        RepoName { namespace: Some(namespace.to_string()), name: name.to_string() }
+    }
+
+    /// Parses `a/b` as a user repo, bare `a` as official.
+    pub fn parse(s: &str) -> Option<RepoName> {
+        if s.is_empty() {
+            return None;
+        }
+        match s.split_once('/') {
+            None => Some(RepoName::official(s)),
+            Some((ns, name)) if !ns.is_empty() && !name.is_empty() && !name.contains('/') => {
+                Some(RepoName::user(ns, name))
+            }
+            _ => None,
+        }
+    }
+
+    /// True for official (partner-served) repositories.
+    pub fn is_official(&self) -> bool {
+        self.namespace.is_none()
+    }
+
+    /// The canonical string form.
+    pub fn full(&self) -> String {
+        match &self.namespace {
+            Some(ns) => format!("{ns}/{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for RepoName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.namespace {
+            Some(ns) => write!(f, "{ns}/{}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_official() {
+        let r = RepoName::parse("nginx").unwrap();
+        assert!(r.is_official());
+        assert_eq!(r.full(), "nginx");
+    }
+
+    #[test]
+    fn parse_user_repo() {
+        let r = RepoName::parse("conjurinc/developer-quiz").unwrap();
+        assert!(!r.is_official());
+        assert_eq!(r.namespace.as_deref(), Some("conjurinc"));
+        assert_eq!(r.to_string(), "conjurinc/developer-quiz");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(RepoName::parse("").is_none());
+        assert!(RepoName::parse("/x").is_none());
+        assert!(RepoName::parse("x/").is_none());
+        assert!(RepoName::parse("a/b/c").is_none());
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = [RepoName::parse("b/x").unwrap(), RepoName::parse("a").unwrap()];
+        v.sort();
+        assert!(v[0].is_official());
+    }
+}

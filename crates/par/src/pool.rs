@@ -1,0 +1,133 @@
+//! A small thread pool for fire-and-forget jobs.
+//!
+//! The downloader uses this for its long-lived worker crew: jobs are
+//! `'static` closures pushed through an unbounded crossbeam channel;
+//! dropping the pool closes the channel and joins every worker.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size worker pool.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("dhub-pool-{i}"))
+                    .spawn(move || {
+                        // Channel closure (all senders dropped) ends the loop.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers }
+    }
+
+    /// Enqueues a job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool active")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Waits for all queued jobs to finish and shuts the pool down.
+    pub fn join(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.tx.take(); // close the channel
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(4);
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let c = counter.clone();
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        pool.execute(move || {
+            d.store(1, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        use std::time::{Duration, Instant};
+        let pool = ThreadPool::new(8);
+        let start = Instant::now();
+        for _ in 0..8 {
+            pool.execute(|| std::thread::sleep(Duration::from_millis(50)));
+        }
+        pool.join();
+        // 8 x 50 ms serially would take 400 ms; in parallel well under that.
+        assert!(start.elapsed() < Duration::from_millis(300));
+    }
+}

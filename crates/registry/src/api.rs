@@ -1,0 +1,370 @@
+//! Registry-V2-shaped API surface.
+//!
+//! The operations the paper's downloader performs (§III-B): resolve
+//! `repo:tag` to a manifest, then fetch each referenced layer blob. The two
+//! failure modes the paper quantifies — 13 % of failed images required
+//! authentication, 87 % had no `latest` tag — surface here as
+//! [`ApiError::AuthRequired`] and [`ApiError::TagNotFound`].
+
+use crate::blobstore::BlobStore;
+use dhub_model::{Digest, Manifest, RepoName};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors the registry API returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// No such repository.
+    RepoNotFound,
+    /// Repository exists but lacks the requested tag (87 % of the paper's
+    /// download failures: no `latest`).
+    TagNotFound,
+    /// Repository requires a token the client does not hold (13 %).
+    AuthRequired,
+    /// Manifest or blob digest not present in the store.
+    BlobNotFound,
+    /// Stored manifest failed to parse (registry corruption).
+    CorruptManifest,
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ApiError::RepoNotFound => "repository not found",
+            ApiError::TagNotFound => "tag not found",
+            ApiError::AuthRequired => "authentication required",
+            ApiError::BlobNotFound => "blob not found",
+            ApiError::CorruptManifest => "corrupt manifest",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Per-repository registry state.
+struct RepoState {
+    /// tag → manifest digest.
+    tags: HashMap<String, Digest>,
+    /// True for private-ish repos that reject anonymous pulls.
+    requires_auth: bool,
+    /// Cumulative pull counter (the popularity signal of Fig. 8).
+    pulls: AtomicU64,
+}
+
+/// The registry: repositories + the shared blob store.
+pub struct Registry {
+    repos: RwLock<HashMap<RepoName, RepoState>>,
+    blobs: BlobStore,
+}
+
+/// Aggregate numbers for reports (the paper's Table-1-style summary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryStats {
+    pub repositories: usize,
+    pub unique_blobs: usize,
+    pub stored_bytes: u64,
+}
+
+/// A resolved pull: the manifest plus its digest, with pull accounting done.
+#[derive(Clone, Debug)]
+pub struct PullSession {
+    pub manifest_digest: Digest,
+    pub manifest: Manifest,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry { repos: RwLock::new(HashMap::new()), blobs: BlobStore::new() }
+    }
+
+    /// Creates a repository. `requires_auth` marks repos that reject
+    /// anonymous pulls.
+    pub fn create_repo(&self, name: RepoName, requires_auth: bool) {
+        self.repos.write().entry(name).or_insert_with(|| RepoState {
+            tags: HashMap::new(),
+            requires_auth,
+            pulls: AtomicU64::new(0),
+        });
+    }
+
+    /// Pushes an image: stores layer blobs (deduplicated), stores the
+    /// manifest, points `tag` at it. Layers must be pushed with the
+    /// manifest so the registry never holds dangling references.
+    pub fn push_image(
+        &self,
+        repo: &RepoName,
+        tag: &str,
+        manifest: &Manifest,
+        layer_blobs: Vec<Vec<u8>>,
+    ) -> Result<Digest, ApiError> {
+        for blob in layer_blobs {
+            self.blobs.put(blob);
+        }
+        for l in &manifest.layers {
+            if !self.blobs.contains(&l.digest) {
+                return Err(ApiError::BlobNotFound);
+            }
+        }
+        let manifest_digest = self.blobs.put(manifest.to_json().into_bytes());
+        let mut repos = self.repos.write();
+        let state = repos.get_mut(repo).ok_or(ApiError::RepoNotFound)?;
+        state.tags.insert(tag.to_string(), manifest_digest);
+        Ok(manifest_digest)
+    }
+
+    /// Resolves `repo:tag` to its manifest — the first half of `docker
+    /// pull`. Counts one pull against the repository.
+    pub fn get_manifest(&self, repo: &RepoName, tag: &str, authed: bool) -> Result<PullSession, ApiError> {
+        let repos = self.repos.read();
+        let state = repos.get(repo).ok_or(ApiError::RepoNotFound)?;
+        if state.requires_auth && !authed {
+            return Err(ApiError::AuthRequired);
+        }
+        let digest = *state.tags.get(tag).ok_or(ApiError::TagNotFound)?;
+        state.pulls.fetch_add(1, Ordering::Relaxed);
+        drop(repos);
+        let raw = self.blobs.get(&digest).ok_or(ApiError::BlobNotFound)?;
+        let text = std::str::from_utf8(&raw).map_err(|_| ApiError::CorruptManifest)?;
+        let manifest = Manifest::from_json(text).ok_or(ApiError::CorruptManifest)?;
+        Ok(PullSession { manifest_digest: digest, manifest })
+    }
+
+    /// Fetches a blob by digest — the second half of `docker pull`.
+    pub fn get_blob(&self, digest: &Digest) -> Result<Arc<Vec<u8>>, ApiError> {
+        self.blobs.get(digest).ok_or(ApiError::BlobNotFound)
+    }
+
+    /// Records `n` synthetic historical pulls (the generator uses this to
+    /// implant the popularity distribution of Fig. 8).
+    pub fn add_pulls(&self, repo: &RepoName, n: u64) {
+        if let Some(state) = self.repos.read().get(repo) {
+            state.pulls.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative pulls for a repository.
+    pub fn pull_count(&self, repo: &RepoName) -> Option<u64> {
+        self.repos.read().get(repo).map(|s| s.pulls.load(Ordering::Relaxed))
+    }
+
+    /// All repository names (unordered snapshot).
+    pub fn repo_names(&self) -> Vec<RepoName> {
+        self.repos.read().keys().cloned().collect()
+    }
+
+    /// Tags of one repository.
+    pub fn tags(&self, repo: &RepoName) -> Option<Vec<String>> {
+        self.repos.read().get(repo).map(|s| s.tags.keys().cloned().collect())
+    }
+
+    /// Whether the repository rejects anonymous pulls.
+    pub fn requires_auth(&self, repo: &RepoName) -> Option<bool> {
+        self.repos.read().get(repo).map(|s| s.requires_auth)
+    }
+
+    /// Deletes a tag. Blobs stay until [`Registry::gc`] runs (the
+    /// two-phase delete real registries use).
+    pub fn delete_tag(&self, repo: &RepoName, tag: &str) -> Result<(), ApiError> {
+        let mut repos = self.repos.write();
+        let state = repos.get_mut(repo).ok_or(ApiError::RepoNotFound)?;
+        state.tags.remove(tag).map(|_| ()).ok_or(ApiError::TagNotFound)
+    }
+
+    /// Garbage-collects blobs unreachable from any tagged manifest:
+    /// keeps every tagged manifest blob and every layer blob those
+    /// manifests reference; drops the rest. Returns `(blobs, bytes)`
+    /// reclaimed.
+    pub fn gc(&self) -> (usize, u64) {
+        use std::collections::HashSet;
+        let mut live: HashSet<Digest> = HashSet::new();
+        {
+            let repos = self.repos.read();
+            for state in repos.values() {
+                for digest in state.tags.values() {
+                    live.insert(*digest);
+                    if let Some(raw) = self.blobs.get(digest) {
+                        if let Ok(text) = std::str::from_utf8(&raw) {
+                            if let Some(m) = Manifest::from_json(text) {
+                                for l in &m.layers {
+                                    live.insert(l.digest);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.blobs.retain(|d| live.contains(d))
+    }
+
+    /// Direct access to the blob store (analysis-side tooling).
+    pub fn blob_store(&self) -> &BlobStore {
+        &self.blobs
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            repositories: self.repos.read().len(),
+            unique_blobs: self.blobs.len(),
+            stored_bytes: self.blobs.total_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_model::LayerRef;
+
+    fn push_simple(reg: &Registry, repo: &RepoName, tag: &str, payload: &[u8]) -> Digest {
+        let blob = payload.to_vec();
+        let layer = LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 };
+        let manifest = Manifest::new(vec![layer]);
+        reg.create_repo(repo.clone(), false);
+        reg.push_image(repo, tag, &manifest, vec![blob]).unwrap()
+    }
+
+    #[test]
+    fn push_then_pull() {
+        let reg = Registry::new();
+        let repo = RepoName::official("nginx");
+        push_simple(&reg, &repo, "latest", b"nginx layer");
+        let sess = reg.get_manifest(&repo, "latest", false).unwrap();
+        assert_eq!(sess.manifest.layers.len(), 1);
+        let blob = reg.get_blob(&sess.manifest.layers[0].digest).unwrap();
+        assert_eq!(blob.as_slice(), b"nginx layer");
+    }
+
+    #[test]
+    fn pull_counts_accumulate() {
+        let reg = Registry::new();
+        let repo = RepoName::user("alice", "app");
+        push_simple(&reg, &repo, "latest", b"x");
+        assert_eq!(reg.pull_count(&repo), Some(0));
+        for _ in 0..5 {
+            reg.get_manifest(&repo, "latest", false).unwrap();
+        }
+        reg.add_pulls(&repo, 100);
+        assert_eq!(reg.pull_count(&repo), Some(105));
+    }
+
+    #[test]
+    fn auth_required_repo_rejects_anonymous() {
+        let reg = Registry::new();
+        let repo = RepoName::user("corp", "private");
+        reg.create_repo(repo.clone(), true);
+        let blob = b"secret".to_vec();
+        let manifest = Manifest::new(vec![LayerRef { digest: Digest::of(&blob), size: 6 }]);
+        reg.push_image(&repo, "latest", &manifest, vec![blob]).unwrap();
+        assert_eq!(reg.get_manifest(&repo, "latest", false).unwrap_err(), ApiError::AuthRequired);
+        assert!(reg.get_manifest(&repo, "latest", true).is_ok());
+    }
+
+    #[test]
+    fn missing_tag_and_repo() {
+        let reg = Registry::new();
+        let repo = RepoName::official("redis");
+        push_simple(&reg, &repo, "3.2", b"redis");
+        assert_eq!(reg.get_manifest(&repo, "latest", false).unwrap_err(), ApiError::TagNotFound);
+        let ghost = RepoName::official("ghost");
+        assert_eq!(reg.get_manifest(&ghost, "latest", false).unwrap_err(), ApiError::RepoNotFound);
+    }
+
+    #[test]
+    fn failed_tag_lookup_does_not_count_a_pull() {
+        let reg = Registry::new();
+        let repo = RepoName::official("redis");
+        push_simple(&reg, &repo, "3.2", b"redis");
+        let _ = reg.get_manifest(&repo, "latest", false);
+        assert_eq!(reg.pull_count(&repo), Some(0));
+    }
+
+    #[test]
+    fn push_rejects_dangling_layer_refs() {
+        let reg = Registry::new();
+        let repo = RepoName::official("x");
+        reg.create_repo(repo.clone(), false);
+        let manifest = Manifest::new(vec![LayerRef { digest: Digest::of(b"never pushed"), size: 1 }]);
+        assert_eq!(reg.push_image(&repo, "latest", &manifest, vec![]).unwrap_err(), ApiError::BlobNotFound);
+    }
+
+    #[test]
+    fn layer_sharing_stores_blob_once() {
+        let reg = Registry::new();
+        let shared = b"ubuntu base layer".to_vec();
+        for i in 0..10 {
+            let repo = RepoName::user("user", &format!("app{i}"));
+            reg.create_repo(repo.clone(), false);
+            let manifest = Manifest::new(vec![LayerRef {
+                digest: Digest::of(&shared),
+                size: shared.len() as u64,
+            }]);
+            reg.push_image(&repo, "latest", &manifest, vec![shared.clone()]).unwrap();
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.repositories, 10);
+        // 1 shared layer + 1 manifest blob (identical manifests dedup too).
+        assert_eq!(stats.unique_blobs, 2);
+    }
+
+    #[test]
+    fn delete_tag_then_gc_reclaims() {
+        let reg = Registry::new();
+        let shared = b"shared layer".to_vec();
+        let a = RepoName::official("a");
+        let bname = RepoName::official("b");
+        for repo in [&a, &bname] {
+            reg.create_repo(repo.clone(), false);
+            let manifest = Manifest::new(vec![LayerRef {
+                digest: Digest::of(&shared),
+                size: shared.len() as u64,
+            }]);
+            reg.push_image(repo, "latest", &manifest, vec![shared.clone()]).unwrap();
+        }
+        // Give `a` a second, unshared image under another tag.
+        let solo = b"only-in-a-v2".to_vec();
+        let m2 = Manifest::new(vec![LayerRef { digest: Digest::of(&solo), size: solo.len() as u64 }]);
+        reg.push_image(&a, "v2", &m2, vec![solo.clone()]).unwrap();
+
+        // Nothing reclaimable while everything is tagged.
+        assert_eq!(reg.gc(), (0, 0));
+
+        // Untag v2: its manifest + unshared layer become garbage.
+        reg.delete_tag(&a, "v2").unwrap();
+        let (blobs, bytes) = reg.gc();
+        assert_eq!(blobs, 2, "manifest + solo layer");
+        assert!(bytes >= solo.len() as u64);
+        // Shared content untouched; latest still pullable on both repos.
+        assert!(reg.get_manifest(&a, "latest", false).is_ok());
+        assert!(reg.get_manifest(&bname, "latest", false).is_ok());
+        assert_eq!(reg.get_manifest(&a, "v2", false).unwrap_err(), ApiError::TagNotFound);
+    }
+
+    #[test]
+    fn delete_tag_errors() {
+        let reg = Registry::new();
+        let repo = RepoName::official("x");
+        assert_eq!(reg.delete_tag(&repo, "latest").unwrap_err(), ApiError::RepoNotFound);
+        reg.create_repo(repo.clone(), false);
+        assert_eq!(reg.delete_tag(&repo, "latest").unwrap_err(), ApiError::TagNotFound);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let reg = Registry::new();
+        let repo = RepoName::official("a");
+        push_simple(&reg, &repo, "latest", &[0u8; 100]);
+        assert!(reg.stats().stored_bytes >= 100);
+    }
+}

@@ -1,0 +1,220 @@
+//! Disk-backed content-addressed blob storage.
+//!
+//! The in-memory [`crate::BlobStore`] is the default for simulation speed;
+//! this variant persists blobs the way Docker's registry does — sharded by
+//! digest prefix under a root directory (`blobs/sha256/ab/<hex>`), written
+//! atomically via a temp file + rename. It exists so storage-policy
+//! experiments (dedup store, uncompressed-layer policy) can be run against
+//! real filesystems.
+
+use dhub_model::Digest;
+use parking_lot::Mutex;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Errors from disk blob operations.
+#[derive(Debug)]
+pub enum DiskStoreError {
+    Io(std::io::Error),
+    /// Stored bytes do not match their digest (on-disk corruption).
+    Corrupt(Digest),
+}
+
+impl std::fmt::Display for DiskStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskStoreError::Io(e) => write!(f, "blob io error: {e}"),
+            DiskStoreError::Corrupt(d) => write!(f, "corrupt blob {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskStoreError {}
+
+impl From<std::io::Error> for DiskStoreError {
+    fn from(e: std::io::Error) -> Self {
+        DiskStoreError::Io(e)
+    }
+}
+
+/// A content-addressed blob store rooted at a directory.
+pub struct DiskBlobStore {
+    root: PathBuf,
+    /// Serializes writers of the same digest (rename is atomic, but this
+    /// avoids redundant temp writes).
+    write_lock: Mutex<()>,
+}
+
+impl DiskBlobStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<DiskBlobStore, DiskStoreError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(root.join("blobs/sha256"))?;
+        Ok(DiskBlobStore { root, write_lock: Mutex::new(()) })
+    }
+
+    fn path_for(&self, digest: &Digest) -> PathBuf {
+        let hex = digest.to_docker_string();
+        let hex = hex.strip_prefix("sha256:").unwrap().to_string();
+        self.root.join("blobs/sha256").join(&hex[..2]).join(hex)
+    }
+
+    /// Stores `data`, returning its digest. Idempotent.
+    pub fn put(&self, data: &[u8]) -> Result<Digest, DiskStoreError> {
+        let digest = Digest::of(data);
+        let path = self.path_for(&digest);
+        if path.exists() {
+            return Ok(digest);
+        }
+        let _guard = self.write_lock.lock();
+        if path.exists() {
+            return Ok(digest);
+        }
+        std::fs::create_dir_all(path.parent().expect("blob path has parent"))?;
+        // Atomic publish: write to a temp name, then rename.
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(digest)
+    }
+
+    /// Fetches and verifies a blob.
+    pub fn get(&self, digest: &Digest) -> Result<Option<Vec<u8>>, DiskStoreError> {
+        let path = self.path_for(digest);
+        let data = match std::fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if Digest::of(&data) != *digest {
+            return Err(DiskStoreError::Corrupt(*digest));
+        }
+        Ok(Some(data))
+    }
+
+    /// True if the blob exists (without reading it).
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.path_for(digest).exists()
+    }
+
+    /// Deletes a blob if present; returns whether it existed.
+    pub fn delete(&self, digest: &Digest) -> Result<bool, DiskStoreError> {
+        match std::fs::remove_file(self.path_for(digest)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Total bytes across stored blobs (walks the tree).
+    pub fn disk_bytes(&self) -> Result<u64, DiskStoreError> {
+        let mut total = 0;
+        let base = self.root.join("blobs/sha256");
+        for shard in std::fs::read_dir(&base)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for blob in std::fs::read_dir(shard.path())? {
+                let blob = blob?;
+                if blob.path().extension().map(|e| e == "tmp").unwrap_or(false) {
+                    continue;
+                }
+                total += blob.metadata()?.len();
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> (PathBuf, DiskBlobStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "dhub-diskstore-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskBlobStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (dir, store) = tmp_store("roundtrip");
+        let d = store.put(b"layer bytes on disk").unwrap();
+        assert_eq!(store.get(&d).unwrap().unwrap(), b"layer bytes on disk");
+        assert!(store.contains(&d));
+        assert_eq!(d, Digest::of(b"layer bytes on disk"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn idempotent_put() {
+        let (dir, store) = tmp_store("idem");
+        let d1 = store.put(&[7u8; 1000]).unwrap();
+        let d2 = store.put(&[7u8; 1000]).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(store.disk_bytes().unwrap(), 1000);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_blob_is_none() {
+        let (dir, store) = tmp_store("missing");
+        assert!(store.get(&Digest::of(b"nope")).unwrap().is_none());
+        assert!(!store.contains(&Digest::of(b"nope")));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let (dir, store) = tmp_store("corrupt");
+        let d = store.put(b"pristine").unwrap();
+        // Flip a byte behind the store's back.
+        let path = store.path_for(&d);
+        std::fs::write(&path, b"tampered!").unwrap();
+        assert!(matches!(store.get(&d).unwrap_err(), DiskStoreError::Corrupt(_)));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn delete_and_disk_bytes() {
+        let (dir, store) = tmp_store("delete");
+        let d1 = store.put(&[1u8; 100]).unwrap();
+        let _d2 = store.put(&[2u8; 200]).unwrap();
+        assert_eq!(store.disk_bytes().unwrap(), 300);
+        assert!(store.delete(&d1).unwrap());
+        assert!(!store.delete(&d1).unwrap());
+        assert_eq!(store.disk_bytes().unwrap(), 200);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn concurrent_puts() {
+        let (dir, store) = tmp_store("concurrent");
+        let store = std::sync::Arc::new(store);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        s.put(&i.to_le_bytes()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.disk_bytes().unwrap(), 200);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

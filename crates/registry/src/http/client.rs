@@ -1,0 +1,299 @@
+//! Registry V2 HTTP client — the transport the paper's downloader used.
+//!
+//! [`RemoteRegistry`] mirrors the in-process [`crate::Registry`] read API
+//! (manifest/blob/tags) over TCP, including the token dance: on a `401`
+//! challenge it fetches a bearer token from the advertised realm and
+//! retries once, exactly as `docker pull` does.
+
+use crate::http::wire::{read_response, Request, Response, WireError};
+use dhub_model::{Digest, Manifest, RepoName};
+use std::net::{SocketAddr, TcpStream};
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Wire(WireError),
+    /// Server said 401 and the token retry also failed.
+    AuthRequired,
+    /// 404 family.
+    NotFound,
+    /// Anything else unexpected.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::AuthRequired => f.write_str("authentication required"),
+            ClientError::NotFound => f.write_str("not found"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// An HTTP client bound to one registry address.
+pub struct RemoteRegistry {
+    addr: SocketAddr,
+    /// Cached bearer token from a previous challenge.
+    token: parking_lot::Mutex<Option<String>>,
+    /// Whether to attempt the token dance on 401 (the study's anonymous
+    /// downloader does not hold credentials; `docker login` users do).
+    pub use_token_auth: bool,
+}
+
+impl RemoteRegistry {
+    /// Creates a client for `addr` that performs the token dance.
+    pub fn connect(addr: SocketAddr) -> RemoteRegistry {
+        RemoteRegistry { addr, token: parking_lot::Mutex::new(None), use_token_auth: true }
+    }
+
+    /// Creates an anonymous client (no token dance — the study's stance).
+    pub fn connect_anonymous(addr: SocketAddr) -> RemoteRegistry {
+        RemoteRegistry { addr, token: parking_lot::Mutex::new(None), use_token_auth: false }
+    }
+
+    fn send(&self, mut req: Request) -> Result<Response, ClientError> {
+        if let Some(tok) = self.token.lock().clone() {
+            req = req.with_header("authorization", &format!("Bearer {tok}"));
+        }
+        let mut stream = TcpStream::connect(self.addr)?;
+        req = req.with_header("connection", "close");
+        req.write_to(&mut stream)?;
+        Ok(read_response(&mut stream)?)
+    }
+
+    /// GET with one 401-token-retry round, like the Docker client.
+    fn get(&self, target: &str) -> Result<Response, ClientError> {
+        let resp = self.send(Request::get(target))?;
+        if resp.status != 401 {
+            return Ok(resp);
+        }
+        if !self.use_token_auth {
+            return Err(ClientError::AuthRequired);
+        }
+        // Parse the realm out of the WWW-Authenticate challenge.
+        let challenge = resp
+            .header("www-authenticate")
+            .ok_or_else(|| ClientError::Protocol("401 without challenge".into()))?;
+        let realm = challenge
+            .split("realm=\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .ok_or_else(|| ClientError::Protocol("challenge without realm".into()))?
+            .to_string();
+        let tok_resp = self.send(Request::get(&realm))?;
+        if tok_resp.status != 200 {
+            return Err(ClientError::AuthRequired);
+        }
+        let body = std::str::from_utf8(&tok_resp.body)
+            .map_err(|_| ClientError::Protocol("token not utf8".into()))?;
+        let token = dhub_json::parse(body)
+            .ok()
+            .and_then(|j| j.get("token").and_then(|t| t.as_str().map(String::from)))
+            .ok_or_else(|| ClientError::Protocol("token payload".into()))?;
+        *self.token.lock() = Some(token);
+        let retry = self.send(Request::get(target))?;
+        if retry.status == 401 {
+            return Err(ClientError::AuthRequired);
+        }
+        Ok(retry)
+    }
+
+    /// Checks the `/v2/` version endpoint.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        let resp = self.get("/v2/")?;
+        if resp.status == 200 {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!("/v2/ -> {}", resp.status)))
+        }
+    }
+
+    /// Fetches and parses a manifest; returns it with its content digest
+    /// from the `Docker-Content-Digest` header.
+    pub fn get_manifest(&self, repo: &RepoName, reference: &str) -> Result<(Digest, Manifest), ClientError> {
+        let resp = self.get(&format!("/v2/{}/manifests/{reference}", repo.full()))?;
+        match resp.status {
+            200 => {
+                let text = std::str::from_utf8(&resp.body)
+                    .map_err(|_| ClientError::Protocol("manifest not utf8".into()))?;
+                let manifest = Manifest::from_json(text)
+                    .ok_or_else(|| ClientError::Protocol("manifest parse".into()))?;
+                let digest = resp
+                    .header("docker-content-digest")
+                    .and_then(Digest::parse)
+                    .unwrap_or_else(|| manifest.digest());
+                Ok((digest, manifest))
+            }
+            404 => Err(ClientError::NotFound),
+            s => Err(ClientError::Protocol(format!("manifest -> {s}"))),
+        }
+    }
+
+    /// Fetches a blob and verifies its digest.
+    pub fn get_blob(&self, repo: &RepoName, digest: &Digest) -> Result<Vec<u8>, ClientError> {
+        let resp = self.get(&format!("/v2/{}/blobs/{digest}", repo.full()))?;
+        match resp.status {
+            200 => {
+                if Digest::of(&resp.body) != *digest {
+                    return Err(ClientError::Protocol("blob digest mismatch".into()));
+                }
+                Ok(resp.body)
+            }
+            404 => Err(ClientError::NotFound),
+            s => Err(ClientError::Protocol(format!("blob -> {s}"))),
+        }
+    }
+
+    /// Lists a repository's tags.
+    pub fn tags(&self, repo: &RepoName) -> Result<Vec<String>, ClientError> {
+        let resp = self.get(&format!("/v2/{}/tags/list", repo.full()))?;
+        match resp.status {
+            200 => {
+                let text = std::str::from_utf8(&resp.body)
+                    .map_err(|_| ClientError::Protocol("tags not utf8".into()))?;
+                let j = dhub_json::parse(text).map_err(|e| ClientError::Protocol(e.to_string()))?;
+                let tags = j
+                    .get("tags")
+                    .and_then(|t| t.as_arr())
+                    .map(|a| a.iter().filter_map(|t| t.as_str().map(String::from)).collect())
+                    .unwrap_or_default();
+                Ok(tags)
+            }
+            404 => Err(ClientError::NotFound),
+            s => Err(ClientError::Protocol(format!("tags -> {s}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Registry;
+    use crate::http::server::RegistryServer;
+    use dhub_model::{LayerRef, Manifest};
+    use std::sync::Arc;
+
+    fn server() -> (RegistryServer, Arc<Registry>) {
+        let reg = Arc::new(Registry::new());
+        let blob = b"http layer payload".to_vec();
+        let repo = RepoName::official("nginx");
+        reg.create_repo(repo.clone(), false);
+        let manifest =
+            Manifest::new(vec![LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 }]);
+        reg.push_image(&repo, "latest", &manifest, vec![blob]).unwrap();
+
+        let private = RepoName::user("corp", "vault");
+        reg.create_repo(private.clone(), true);
+        let pb = b"classified".to_vec();
+        let pm = Manifest::new(vec![LayerRef { digest: Digest::of(&pb), size: pb.len() as u64 }]);
+        reg.push_image(&private, "latest", &pm, vec![pb]).unwrap();
+
+        (RegistryServer::start(reg.clone()).unwrap(), reg)
+    }
+
+    #[test]
+    fn ping_over_tcp() {
+        let (srv, _reg) = server();
+        let client = RemoteRegistry::connect(srv.addr());
+        client.ping().unwrap();
+        srv.shutdown();
+    }
+
+    #[test]
+    fn pull_over_tcp() {
+        let (srv, _reg) = server();
+        let client = RemoteRegistry::connect(srv.addr());
+        let repo = RepoName::official("nginx");
+        let (digest, manifest) = client.get_manifest(&repo, "latest").unwrap();
+        assert_eq!(digest, manifest.digest());
+        let blob = client.get_blob(&repo, &manifest.layers[0].digest).unwrap();
+        assert_eq!(blob, b"http layer payload");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn token_dance_grants_private_access() {
+        let (srv, _reg) = server();
+        let client = RemoteRegistry::connect(srv.addr());
+        let repo = RepoName::user("corp", "vault");
+        let (_d, m) = client.get_manifest(&repo, "latest").unwrap();
+        assert_eq!(m.layers.len(), 1);
+        let blob = client.get_blob(&repo, &m.layers[0].digest).unwrap();
+        assert_eq!(blob, b"classified");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn anonymous_client_hits_auth_wall() {
+        let (srv, _reg) = server();
+        let client = RemoteRegistry::connect_anonymous(srv.addr());
+        let repo = RepoName::user("corp", "vault");
+        assert!(matches!(client.get_manifest(&repo, "latest"), Err(ClientError::AuthRequired)));
+        // Public repos still work anonymously.
+        let nginx = RepoName::official("nginx");
+        assert!(client.get_manifest(&nginx, "latest").is_ok());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn missing_things_are_not_found() {
+        let (srv, _reg) = server();
+        let client = RemoteRegistry::connect(srv.addr());
+        let ghost = RepoName::official("ghost");
+        assert!(matches!(client.get_manifest(&ghost, "latest"), Err(ClientError::NotFound)));
+        let nginx = RepoName::official("nginx");
+        assert!(matches!(client.get_manifest(&nginx, "v9"), Err(ClientError::NotFound)));
+        assert!(matches!(
+            client.get_blob(&nginx, &Digest::of(b"no such blob")),
+            Err(ClientError::NotFound)
+        ));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn tags_over_tcp() {
+        let (srv, _reg) = server();
+        let client = RemoteRegistry::connect(srv.addr());
+        let tags = client.tags(&RepoName::official("nginx")).unwrap();
+        assert_eq!(tags, vec!["latest"]);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (srv, _reg) = server();
+        let addr = srv.addr();
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let client = RemoteRegistry::connect(addr);
+                    let repo = RepoName::official("nginx");
+                    let (_, m) = client.get_manifest(&repo, "latest").unwrap();
+                    client.get_blob(&repo, &m.layers[0].digest).unwrap().len()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), b"http layer payload".len());
+        }
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,336 @@
+//! Threaded Registry V2 HTTP server.
+//!
+//! Serves an in-process [`Registry`] over real TCP with the endpoints and
+//! auth dance the Docker client uses:
+//!
+//! * anonymous pulls work for public repositories;
+//! * auth-required repositories answer `401` with a `WWW-Authenticate:
+//!   Bearer realm=...` challenge; presenting `Authorization: Bearer
+//!   <token>` (from the `/token` endpoint) grants access — the same flow
+//!   behind the paper's "13 % of failed images required authentication".
+
+use crate::api::{ApiError, Registry};
+use crate::http::wire::{read_request, Request, Response, WireError};
+use dhub_json::Json;
+use dhub_model::{Digest, RepoName};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running registry server; dropping it stops the accept loop.
+pub struct RegistryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The bearer token this simulation's `/token` endpoint issues. A real
+/// registry mints signed JWTs; the study only needs the protocol shape.
+pub const DEMO_TOKEN: &str = "dhub-demo-token";
+
+impl RegistryServer {
+    /// Binds to `127.0.0.1:0` (ephemeral port) and starts serving.
+    pub fn start(registry: Arc<Registry>) -> std::io::Result<RegistryServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        listener.set_nonblocking(true)?;
+        let accept_thread = std::thread::Builder::new()
+            .name("dhub-registry-http".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let reg = registry.clone();
+                            // Thread-per-connection: plenty for the study's
+                            // bounded worker crews.
+                            let _ = std::thread::Builder::new()
+                                .name("dhub-registry-conn".into())
+                                .spawn(move || handle_connection(stream, reg));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(RegistryServer { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RegistryServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: Arc<Registry>) {
+    // Keep-alive: serve requests until the peer closes or errs.
+    loop {
+        let request = match read_request(&mut stream) {
+            Ok(r) => r,
+            Err(WireError::UnexpectedEof) => return,
+            Err(_) => {
+                let _ = Response::new(400, b"bad request".to_vec()).write_to(&mut stream);
+                return;
+            }
+        };
+        let response = route(&request, &registry);
+        if response.write_to(&mut stream).is_err() {
+            return;
+        }
+        if request.header("connection").map(|c| c.eq_ignore_ascii_case("close")).unwrap_or(false) {
+            let _ = stream.flush();
+            return;
+        }
+    }
+}
+
+fn authed(req: &Request) -> bool {
+    req.header("authorization")
+        .map(|v| v == format!("Bearer {DEMO_TOKEN}"))
+        .unwrap_or(false)
+}
+
+fn json_error(status: u16, code: &str) -> Response {
+    let mut body = Json::obj();
+    body.set("errors", Json::Arr(vec![{
+        let mut e = Json::obj();
+        e.set("code", code);
+        e
+    }]));
+    Response::new(status, body.to_string().into_bytes())
+        .with_header("content-type", "application/json")
+}
+
+fn route(req: &Request, registry: &Registry) -> Response {
+    if req.method != "GET" {
+        return json_error(405, "UNSUPPORTED");
+    }
+    let path = req.target.split('?').next().unwrap_or("");
+
+    // Token endpoint (the Bearer realm the 401 challenge points at).
+    if path == "/token" {
+        let mut body = Json::obj();
+        body.set("token", DEMO_TOKEN);
+        return Response::new(200, body.to_string().into_bytes())
+            .with_header("content-type", "application/json");
+    }
+
+    // /v2/ version check.
+    if path == "/v2/" || path == "/v2" {
+        return Response::new(200, b"{}".to_vec())
+            .with_header("docker-distribution-api-version", "registry/2.0");
+    }
+
+    let Some(rest) = path.strip_prefix("/v2/") else {
+        return json_error(404, "NOT_FOUND");
+    };
+
+    // <name>/manifests/<ref> | <name>/blobs/<digest> | <name>/tags/list —
+    // the name itself may contain one '/'.
+    if let Some((name, reference)) = rest.rsplit_once("/manifests/") {
+        return manifest_endpoint(registry, name, reference, authed(req));
+    }
+    if let Some((name, digest)) = rest.rsplit_once("/blobs/") {
+        return blob_endpoint(registry, name, digest, authed(req));
+    }
+    if let Some(name) = rest.strip_suffix("/tags/list") {
+        return tags_endpoint(registry, name.trim_end_matches('/'), authed(req));
+    }
+    json_error(404, "NOT_FOUND")
+}
+
+fn challenge(resp: Response) -> Response {
+    resp.with_header("www-authenticate", "Bearer realm=\"/token\",service=\"dhub-registry\"")
+}
+
+fn repo_of(name: &str) -> Option<RepoName> {
+    RepoName::parse(name)
+}
+
+fn manifest_endpoint(registry: &Registry, name: &str, reference: &str, authed: bool) -> Response {
+    let Some(repo) = repo_of(name) else { return json_error(404, "NAME_INVALID") };
+    match registry.get_manifest(&repo, reference, authed) {
+        Ok(sess) => {
+            let body = sess.manifest.to_json().into_bytes();
+            Response::new(200, body)
+                .with_header("content-type", "application/vnd.docker.distribution.manifest.v2+json")
+                .with_header("docker-content-digest", &sess.manifest_digest.to_docker_string())
+        }
+        Err(ApiError::AuthRequired) => challenge(json_error(401, "UNAUTHORIZED")),
+        Err(ApiError::TagNotFound) => json_error(404, "MANIFEST_UNKNOWN"),
+        Err(ApiError::RepoNotFound) => json_error(404, "NAME_UNKNOWN"),
+        Err(_) => json_error(404, "UNKNOWN"),
+    }
+}
+
+fn blob_endpoint(registry: &Registry, name: &str, digest: &str, authed: bool) -> Response {
+    let Some(repo) = repo_of(name) else { return json_error(404, "NAME_INVALID") };
+    // Blob access obeys the repository's auth policy, like the real API.
+    if registry.requires_auth(&repo).unwrap_or(false) && !authed {
+        return challenge(json_error(401, "UNAUTHORIZED"));
+    }
+    let Some(d) = Digest::parse(digest) else { return json_error(404, "DIGEST_INVALID") };
+    match registry.get_blob(&d) {
+        Ok(blob) => Response::new(200, blob.as_ref().clone())
+            .with_header("content-type", "application/octet-stream")
+            .with_header("docker-content-digest", digest),
+        Err(_) => json_error(404, "BLOB_UNKNOWN"),
+    }
+}
+
+fn tags_endpoint(registry: &Registry, name: &str, authed: bool) -> Response {
+    let Some(repo) = repo_of(name) else { return json_error(404, "NAME_INVALID") };
+    if registry.requires_auth(&repo).unwrap_or(false) && !authed {
+        return challenge(json_error(401, "UNAUTHORIZED"));
+    }
+    match registry.tags(&repo) {
+        Some(mut tags) => {
+            tags.sort();
+            let mut body = Json::obj();
+            body.set("name", name);
+            body.set("tags", tags);
+            Response::new(200, body.to_string().into_bytes())
+                .with_header("content-type", "application/json")
+        }
+        None => json_error(404, "NAME_UNKNOWN"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_model::{LayerRef, Manifest};
+
+    fn test_registry() -> Arc<Registry> {
+        let reg = Registry::new();
+        let blob = b"layer-bytes".to_vec();
+        let repo = RepoName::official("nginx");
+        reg.create_repo(repo.clone(), false);
+        let manifest =
+            Manifest::new(vec![LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 }]);
+        reg.push_image(&repo, "latest", &manifest, vec![blob]).unwrap();
+
+        let private = RepoName::user("corp", "secret");
+        reg.create_repo(private.clone(), true);
+        let pblob = b"private-bytes".to_vec();
+        let pm = Manifest::new(vec![LayerRef { digest: Digest::of(&pblob), size: pblob.len() as u64 }]);
+        reg.push_image(&private, "latest", &pm, vec![pblob]).unwrap();
+        Arc::new(reg)
+    }
+
+    fn roundtrip(req: &Request, reg: &Registry) -> Response {
+        route(req, reg)
+    }
+
+    #[test]
+    fn version_check() {
+        let reg = test_registry();
+        let resp = roundtrip(&Request::get("/v2/"), &reg);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("docker-distribution-api-version").unwrap(), "registry/2.0");
+    }
+
+    #[test]
+    fn manifest_fetch_and_digest_header() {
+        let reg = test_registry();
+        let resp = roundtrip(&Request::get("/v2/nginx/manifests/latest"), &reg);
+        assert_eq!(resp.status, 200);
+        let m = Manifest::from_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(m.layers.len(), 1);
+        let d = Digest::parse(resp.header("docker-content-digest").unwrap()).unwrap();
+        assert_eq!(d, m.digest());
+    }
+
+    #[test]
+    fn blob_fetch() {
+        let reg = test_registry();
+        let m = roundtrip(&Request::get("/v2/nginx/manifests/latest"), &reg);
+        let manifest = Manifest::from_json(std::str::from_utf8(&m.body).unwrap()).unwrap();
+        let digest = manifest.layers[0].digest.to_docker_string();
+        let resp = roundtrip(&Request::get(&format!("/v2/nginx/blobs/{digest}")), &reg);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"layer-bytes");
+    }
+
+    #[test]
+    fn auth_dance() {
+        let reg = test_registry();
+        // Anonymous → 401 with a challenge.
+        let resp = roundtrip(&Request::get("/v2/corp/secret/manifests/latest"), &reg);
+        assert_eq!(resp.status, 401);
+        assert!(resp.header("www-authenticate").unwrap().contains("Bearer realm"));
+        // Token endpoint issues the bearer token.
+        let tok = roundtrip(&Request::get("/token"), &reg);
+        assert_eq!(tok.status, 200);
+        assert!(std::str::from_utf8(&tok.body).unwrap().contains(DEMO_TOKEN));
+        // Authorized fetch succeeds.
+        let resp = roundtrip(
+            &Request::get("/v2/corp/secret/manifests/latest")
+                .with_header("authorization", &format!("Bearer {DEMO_TOKEN}")),
+            &reg,
+        );
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn wrong_token_rejected() {
+        let reg = test_registry();
+        let resp = roundtrip(
+            &Request::get("/v2/corp/secret/manifests/latest")
+                .with_header("authorization", "Bearer wrong"),
+            &reg,
+        );
+        assert_eq!(resp.status, 401);
+    }
+
+    #[test]
+    fn unknown_routes_404() {
+        let reg = test_registry();
+        assert_eq!(roundtrip(&Request::get("/v2/ghost/manifests/latest"), &reg).status, 404);
+        assert_eq!(roundtrip(&Request::get("/v2/nginx/manifests/v9"), &reg).status, 404);
+        assert_eq!(roundtrip(&Request::get("/elsewhere"), &reg).status, 404);
+        assert_eq!(
+            roundtrip(&Request::get("/v2/nginx/blobs/sha256:zz"), &reg).status,
+            404
+        );
+    }
+
+    #[test]
+    fn non_get_rejected() {
+        let reg = test_registry();
+        let mut req = Request::get("/v2/");
+        req.method = "DELETE".into();
+        assert_eq!(roundtrip(&req, &reg).status, 405);
+    }
+
+    #[test]
+    fn tags_list() {
+        let reg = test_registry();
+        let resp = roundtrip(&Request::get("/v2/nginx/tags/list"), &reg);
+        assert_eq!(resp.status, 200);
+        let text = std::str::from_utf8(&resp.body).unwrap();
+        assert!(text.contains("latest"), "{text}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Histograms for the paper's frequency plots (Figs. 3b, 4b, 7b, 8b, 10b).
+
+/// Fixed-width linear histogram over `[lo, hi)` plus overflow/underflow bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` equal bins covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Histogram {
+        assert!(hi > lo && nbins > 0);
+        Histogram { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let w = (self.hi - self.lo) / n as f64;
+            let idx = (((x - self.lo) / w) as usize).min(n - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Records many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Bin counts (without under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin_low_edge, bin_high_edge, count)` triples.
+    pub fn rows(&self) -> Vec<(f64, f64, u64)> {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w, c))
+            .collect()
+    }
+
+    /// Total recorded samples (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Index and left edge of the most frequent in-range bin.
+    pub fn mode_bin(&self) -> Option<(usize, f64)> {
+        let (i, &max) = self.bins.iter().enumerate().max_by_key(|(_, &c)| c)?;
+        if max == 0 {
+            return None;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        Some((i, self.lo + i as f64 * w))
+    }
+}
+
+/// Power-of-two (log2) histogram for heavy-tailed positive quantities —
+/// layer sizes span six orders of magnitude, so the paper's size plots are
+/// effectively log-binned.
+#[derive(Clone, Debug, Default)]
+pub struct LogHistogram {
+    /// bins[k] counts samples in `[2^k, 2^(k+1))`; bins[0] also catches 0.
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty log histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records one non-negative integer sample.
+    pub fn record(&mut self, x: u64) {
+        let bin = if x <= 1 { 0 } else { 63 - x.leading_zeros() as usize };
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += 1;
+        self.count += 1;
+    }
+
+    /// `(range_low, range_high_exclusive, count)` rows for non-empty bins.
+    /// The top bin (k = 63) reports `u64::MAX` as its (inclusive) high edge.
+    pub fn rows(&self) -> Vec<(u64, u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| {
+                if k == 0 {
+                    (0, 2, c)
+                } else {
+                    let hi = if k >= 63 { u64::MAX } else { 1u64 << (k + 1) };
+                    (1 << k, hi, c)
+                }
+            })
+            .collect()
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.0, 0.5, 1.0, 9.99, 5.0]);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[1], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([-1.0, 2.0, 0.5]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 3);
+        let binned: u64 = h.bins().iter().sum();
+        assert_eq!(binned + h.underflow() + h.overflow(), h.count());
+    }
+
+    #[test]
+    fn rows_edges() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.record(1.0);
+        let rows = h.rows();
+        assert_eq!(rows, vec![(0.0, 2.0, 1), (2.0, 4.0, 0)]);
+    }
+
+    #[test]
+    fn mode_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.extend([0.5, 1.5, 1.6, 2.5]);
+        assert_eq!(h.mode_bin(), Some((1, 1.0)));
+        let empty = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(empty.mode_bin(), None);
+    }
+
+    #[test]
+    fn log_histogram_bins() {
+        let mut h = LogHistogram::new();
+        for x in [0u64, 1, 2, 3, 4, 7, 8, 1 << 20] {
+            h.record(x);
+        }
+        let rows = h.rows();
+        // 0 and 1 in bin [0,2); 2,3 in [2,4); 4,7 in [4,8); 8 in [8,16); 2^20.
+        assert_eq!(rows[0], (0, 2, 2));
+        assert_eq!(rows[1], (2, 4, 2));
+        assert_eq!(rows[2], (4, 8, 2));
+        assert_eq!(rows[3], (8, 16, 1));
+        assert_eq!(rows[4], (1 << 20, 1 << 21, 1));
+        assert_eq!(h.count(), 8);
+    }
+}

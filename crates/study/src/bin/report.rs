@@ -1,0 +1,51 @@
+//! Emits the complete reproduction report (Table 1, Figs. 3–29, Table 2,
+//! plus the §VI extension figures) for a given scale — the tool that
+//! generates EXPERIMENTS.md's numbers.
+//!
+//! ```sh
+//! cargo run --release -p dhub-study --bin report -- [repos] [seed] [size_scale]
+//! ```
+
+use dhub_study::figures::all_figures;
+use dhub_study::carving::ext_c1;
+use dhub_study::latency::ext_l1;
+use dhub_study::run_study;
+use dhub_study::versions::{analyze_versions, ext_v1};
+use dhub_synth::{generate_hub, SynthConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let repos: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20170530);
+    let size_scale: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(128);
+
+    let mut cfg = SynthConfig::default_scale(seed).with_repos(repos);
+    cfg.size_scale = size_scale;
+
+    eprintln!("generating hub: repos={repos} seed={seed} size_scale=1/{size_scale}");
+    let t = std::time::Instant::now();
+    let hub = generate_hub(&cfg);
+    eprintln!(
+        "hub ready in {:.1?} ({} blobs, {:.1} MB stored)",
+        t.elapsed(),
+        hub.registry.stats().unique_blobs,
+        hub.registry.stats().stored_bytes as f64 / 1e6
+    );
+
+    let t = std::time::Instant::now();
+    let data = run_study(&hub, dhub_par::default_threads());
+    eprintln!("pipeline done in {:.1?}", t.elapsed());
+
+    println!("# Reproduction report — repos={repos} seed={seed} size_scale=1/{size_scale}");
+    println!();
+    for fig in all_figures(&data) {
+        println!("{}", fig.render());
+    }
+
+    // §VI extensions.
+    let repos_list = hub.registry.repo_names();
+    let versions = analyze_versions(&hub.registry, &repos_list);
+    println!("{}", ext_v1(&versions, cfg.size_scale).render());
+    println!("{}", ext_l1(&data).render());
+    println!("{}", ext_c1(&data).render());
+}

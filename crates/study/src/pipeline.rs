@@ -1,0 +1,291 @@
+//! The crawl → download → analyze pipeline (§III).
+
+use dhub_analyzer::{analyze_all, image_profiles, ImageInput};
+use dhub_crawler::{crawl, CrawlReport};
+use dhub_dedup::ImageLayers;
+use dhub_digest::FxHashMap;
+use dhub_downloader::{download_all, DownloadReport};
+use dhub_model::{Digest, ImageProfile, LayerProfile, RepoName};
+use dhub_registry::NetworkModel;
+use dhub_synth::SyntheticHub;
+
+/// Everything the figures need, produced by one pipeline run.
+pub struct StudyData {
+    /// Crawl statistics (raw hits, distinct repos).
+    pub crawl: CrawlReport,
+    /// Download statistics (successes, failure taxonomy, unique layers).
+    pub download: DownloadReport,
+    /// Unique-layer profiles keyed by digest.
+    pub layers: FxHashMap<Digest, LayerProfile>,
+    /// Image profiles for every downloaded image.
+    pub images: Vec<ImageProfile>,
+    /// Image → layer digests view for dedup analyses.
+    pub image_layers: Vec<ImageLayers>,
+    /// Pull counts of every crawled repository (popularity analysis covers
+    /// all repos, not only downloadable ones).
+    pub pulls: Vec<(RepoName, u64)>,
+    /// Layers that failed decode (should be zero against the synthetic hub).
+    pub analyze_errors: usize,
+    /// The generator's size divisor, used to rescale size anchors back to
+    /// paper-scale bytes.
+    pub size_scale: u64,
+    /// Seed that produced the hub (for deterministic sub-sampling).
+    pub seed: u64,
+}
+
+impl StudyData {
+    /// Layer profiles as a deterministic slice of references.
+    pub fn layer_slice(&self) -> Vec<&LayerProfile> {
+        dhub_dedup::profile_slice(&self.layers)
+    }
+
+    /// Compressed layer sizes keyed by digest.
+    pub fn layer_sizes(&self) -> FxHashMap<Digest, u64> {
+        self.layers.iter().map(|(d, p)| (*d, p.cls)).collect()
+    }
+}
+
+/// Runs the full measurement pipeline against a synthetic hub.
+pub fn run_study(hub: &SyntheticHub, threads: usize) -> StudyData {
+    // §III-A: crawl. The official list is public knowledge (the paper
+    // hardcodes the <200 official repositories).
+    let officials: Vec<RepoName> =
+        hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
+    let crawl_result = crawl(&hub.search, &officials);
+
+    // §III-B: download latest images, unique layers only.
+    let net = NetworkModel::wan();
+    let dl = download_all(&hub.registry, &crawl_result.repos, threads, &net);
+
+    // §III-C: analyze layers, then aggregate image profiles.
+    let analysis = analyze_all(&dl.layers, threads);
+    let inputs: Vec<ImageInput> = dl
+        .images
+        .iter()
+        .map(|img| ImageInput {
+            repo: img.repo.clone(),
+            manifest_digest: img.manifest_digest,
+            layers: img.manifest.layers.iter().map(|l| (l.digest, l.size)).collect(),
+        })
+        .collect();
+    let images = image_profiles(&inputs, &analysis.layers);
+    let image_layers: Vec<ImageLayers> = dl
+        .images
+        .iter()
+        .map(|img| ImageLayers { layers: img.manifest.layers.iter().map(|l| l.digest).collect() })
+        .collect();
+
+    // Popularity: pull counts of every crawled repository.
+    let pulls: Vec<(RepoName, u64)> = crawl_result
+        .repos
+        .iter()
+        .filter_map(|r| hub.registry.pull_count(r).map(|c| (r.clone(), c)))
+        .collect();
+
+    StudyData {
+        crawl: crawl_result.report,
+        download: dl.report,
+        layers: analysis.layers,
+        images,
+        image_layers,
+        pulls,
+        analyze_errors: analysis.errors.len(),
+        size_scale: hub.config.size_scale,
+        seed: hub.config.seed,
+    }
+}
+
+/// Streaming variant of [`run_study`]: repositories flow through bounded
+/// download → analyze pipeline stages (`dhub-par::pipeline`), so peak
+/// memory holds only the channel depths' worth of layer blobs instead of
+/// the whole dataset. This is the shape a paper-scale (47 TB) run needs;
+/// results are identical to the batch path.
+pub fn run_study_streaming(hub: &SyntheticHub, threads: usize) -> StudyData {
+    use dhub_downloader::DownloadedImage;
+    use dhub_par::pipeline::{sink, source, stage};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc as SArc;
+
+    let officials: Vec<RepoName> =
+        hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
+    let crawl_result = crawl(&hub.search, &officials);
+
+    // Stage 1 (network-bound): resolve manifests + fetch unique layers.
+    let registry = hub.registry.clone();
+    let fetched: SArc<dhub_par::ShardedMap<Digest, ()>> = SArc::new(dhub_par::ShardedMap::new(64));
+    let auth = SArc::new(AtomicU64::new(0));
+    let no_latest = SArc::new(AtomicU64::new(0));
+    let bytes = SArc::new(AtomicU64::new(0));
+    let skipped = SArc::new(AtomicU64::new(0));
+
+    let repo_rx = source(crawl_result.repos.clone(), 64);
+    let dl_registry = registry.clone();
+    let dl_fetched = fetched.clone();
+    let (dl_auth, dl_nolatest, dl_bytes, dl_skipped) =
+        (auth.clone(), no_latest.clone(), bytes.clone(), skipped.clone());
+    type DlItem = (DownloadedImage, Vec<(Digest, std::sync::Arc<Vec<u8>>)>);
+    let dl_rx = stage(repo_rx, threads.max(2), 32, move |repo: RepoName| -> Option<DlItem> {
+        match dl_registry.get_manifest(&repo, "latest", false) {
+            Err(dhub_registry::ApiError::AuthRequired) => {
+                dl_auth.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(dhub_registry::ApiError::TagNotFound) => {
+                dl_nolatest.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(_) => None,
+            Ok(sess) => {
+                let mut blobs = Vec::new();
+                for l in &sess.manifest.layers {
+                    // First inserter claims the digest (atomic per shard).
+                    let claimed = dl_fetched.insert(l.digest, ()).is_none();
+                    if claimed {
+                        let blob = dl_registry.get_blob(&l.digest).expect("manifest refs exist");
+                        dl_bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                        blobs.push((l.digest, blob));
+                    } else {
+                        dl_skipped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Some((
+                    DownloadedImage {
+                        repo,
+                        manifest_digest: sess.manifest_digest,
+                        manifest: sess.manifest,
+                    },
+                    blobs,
+                ))
+            }
+        }
+    });
+
+    // Stage 2 (CPU-bound): analyze each image's newly fetched layers.
+    let an_rx = stage(dl_rx, threads.max(1), 16, move |(img, blobs): DlItem| {
+        let profiles: Vec<(Digest, LayerProfile)> = blobs
+            .into_iter()
+            .filter_map(|(d, blob)| dhub_analyzer::analyze_layer(d, &blob).ok().map(|p| (d, p)))
+            .collect();
+        Some((img, profiles))
+    });
+
+    let results: Vec<(DownloadedImage, Vec<(Digest, LayerProfile)>)> = sink(an_rx);
+
+    // Assemble StudyData exactly as the batch path does.
+    let mut layers: FxHashMap<Digest, LayerProfile> = FxHashMap::default();
+    let mut images_dl: Vec<DownloadedImage> = Vec::with_capacity(results.len());
+    for (img, profiles) in results {
+        for (d, p) in profiles {
+            layers.insert(d, p);
+        }
+        images_dl.push(img);
+    }
+    images_dl.sort_by(|a, b| a.repo.cmp(&b.repo));
+
+    let inputs: Vec<ImageInput> = images_dl
+        .iter()
+        .map(|img| ImageInput {
+            repo: img.repo.clone(),
+            manifest_digest: img.manifest_digest,
+            layers: img.manifest.layers.iter().map(|l| (l.digest, l.size)).collect(),
+        })
+        .collect();
+    let images = image_profiles(&inputs, &layers);
+    let image_layers: Vec<ImageLayers> = images_dl
+        .iter()
+        .map(|img| ImageLayers { layers: img.manifest.layers.iter().map(|l| l.digest).collect() })
+        .collect();
+    let pulls: Vec<(RepoName, u64)> = crawl_result
+        .repos
+        .iter()
+        .filter_map(|r| hub.registry.pull_count(r).map(|c| (r.clone(), c)))
+        .collect();
+
+    let unique_layers = layers.len();
+    StudyData {
+        crawl: crawl_result.report,
+        download: dhub_downloader::DownloadReport {
+            images_downloaded: images_dl.len(),
+            unique_layers,
+            bytes_fetched: bytes.load(Ordering::Relaxed),
+            layer_fetches_skipped: skipped.load(Ordering::Relaxed),
+            failed_auth: auth.load(Ordering::Relaxed) as usize,
+            failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
+            failed_other: 0,
+            simulated_transfer: std::time::Duration::ZERO,
+        },
+        layers,
+        images,
+        image_layers,
+        pulls,
+        analyze_errors: 0,
+        size_scale: hub.config.size_scale,
+        seed: hub.config.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_synth::{generate_hub, SynthConfig};
+
+    fn study() -> StudyData {
+        let hub = generate_hub(&SynthConfig::tiny(11).with_repos(40));
+        run_study(&hub, 4)
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let s = study();
+        assert_eq!(s.crawl.distinct_repos, 40);
+        assert!(s.download.images_downloaded > 20);
+        assert!(s.download.failures() > 0);
+        assert_eq!(s.analyze_errors, 0, "synthetic layers must all decode");
+        assert_eq!(s.images.len(), s.download.images_downloaded);
+        assert_eq!(s.layers.len(), s.download.unique_layers);
+        assert_eq!(s.pulls.len(), 40);
+    }
+
+    #[test]
+    fn image_profiles_reference_analyzed_layers() {
+        let s = study();
+        for img in &s.images {
+            for d in &img.layers {
+                assert!(s.layers.contains_key(d), "image references unanalyzed layer");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let hub = generate_hub(&SynthConfig::tiny(17).with_repos(40));
+        let batch = run_study(&hub, 4);
+        let streaming = run_study_streaming(&hub, 4);
+        assert_eq!(streaming.crawl, batch.crawl);
+        assert_eq!(streaming.download.images_downloaded, batch.download.images_downloaded);
+        assert_eq!(streaming.download.unique_layers, batch.download.unique_layers);
+        assert_eq!(streaming.download.failed_auth, batch.download.failed_auth);
+        assert_eq!(streaming.download.failed_no_latest, batch.download.failed_no_latest);
+        assert_eq!(streaming.download.bytes_fetched, batch.download.bytes_fetched);
+        assert_eq!(streaming.layers.len(), batch.layers.len());
+        for (d, p) in &batch.layers {
+            assert_eq!(streaming.layers.get(d), Some(p), "layer profile mismatch");
+        }
+        assert_eq!(streaming.images.len(), batch.images.len());
+        for (a, b) in streaming.images.iter().zip(&batch.images) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_pipeline() {
+        let hub = generate_hub(&SynthConfig::tiny(13).with_repos(30));
+        let a = run_study(&hub, 2);
+        let b = run_study(&hub, 8);
+        assert_eq!(a.layers.len(), b.layers.len());
+        assert_eq!(a.images.len(), b.images.len());
+        let fa: u64 = a.layer_slice().iter().map(|l| l.file_count).sum();
+        let fb: u64 = b.layer_slice().iter().map(|l| l.file_count).sum();
+        assert_eq!(fa, fb);
+    }
+}

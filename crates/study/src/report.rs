@@ -1,0 +1,121 @@
+//! Figure/table report types and rendering.
+
+/// One paper-vs-measured comparison point.
+#[derive(Clone, Debug)]
+pub struct Anchor {
+    /// What is being compared (e.g. "median CLS (bytes)").
+    pub name: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// What this reproduction measured (rescaled to paper units where the
+    /// quantity is size-valued).
+    pub measured: f64,
+}
+
+impl Anchor {
+    /// Builds an anchor.
+    pub fn new(name: impl Into<String>, paper: f64, measured: f64) -> Anchor {
+        Anchor { name: name.into(), paper, measured }
+    }
+
+    /// measured / paper (NaN-safe).
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.measured / self.paper
+        }
+    }
+}
+
+/// A regenerated figure or table: the data rows the paper plots plus the
+/// anchor comparisons.
+#[derive(Clone, Debug)]
+pub struct FigureReport {
+    /// Paper artifact id, e.g. "Fig. 3".
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// The series rows (pre-formatted, one per line).
+    pub rows: Vec<String>,
+    /// Anchor comparisons.
+    pub anchors: Vec<Anchor>,
+}
+
+impl FigureReport {
+    /// Renders the report as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for r in &self.rows {
+            out.push_str("  ");
+            out.push_str(r);
+            out.push('\n');
+        }
+        if !self.anchors.is_empty() {
+            out.push_str("  anchors (paper vs measured):\n");
+            for a in &self.anchors {
+                out.push_str(&format!(
+                    "    {:<44} paper {:>14.4}  measured {:>14.4}  ratio {:>7.3}\n",
+                    a.name,
+                    a.paper,
+                    a.measured,
+                    a.ratio()
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Renders a CDF as `value p` rows at the given quantiles.
+pub fn cdf_rows(ecdf: &dhub_stats::Ecdf, label: &str) -> Vec<String> {
+    if ecdf.is_empty() {
+        return vec![format!("{label}: (no samples)")];
+    }
+    [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+        .iter()
+        .map(|&p| format!("{label} p{:<4} = {:.2}", (p * 100.0) as u32, ecdf.quantile(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_ratio() {
+        assert!((Anchor::new("x", 10.0, 12.0).ratio() - 1.2).abs() < 1e-9);
+        assert_eq!(Anchor::new("x", 0.0, 0.0).ratio(), 1.0);
+        assert!(Anchor::new("x", 0.0, 5.0).ratio().is_infinite());
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = FigureReport {
+            id: "Fig. 0",
+            title: "demo".into(),
+            rows: vec!["row-a".into()],
+            anchors: vec![Anchor::new("median", 4.0, 4.4)],
+        };
+        let text = r.render();
+        assert!(text.contains("Fig. 0"));
+        assert!(text.contains("row-a"));
+        assert!(text.contains("median"));
+        assert!(text.contains("1.100"));
+    }
+
+    #[test]
+    fn cdf_rows_shape() {
+        let e = dhub_stats::Ecdf::from_u64(1..=100);
+        let rows = cdf_rows(&e, "files");
+        assert_eq!(rows.len(), 8);
+        assert!(rows[2].contains("p50"));
+        let empty = dhub_stats::Ecdf::new(vec![]);
+        assert_eq!(cdf_rows(&empty, "x").len(), 1);
+    }
+}

@@ -1,0 +1,491 @@
+//! Content forging: fabricates file bytes per taxonomy type.
+//!
+//! Two properties matter and both are verified by tests:
+//!
+//! 1. **Classifiability** — the bytes carry the real signature for their
+//!    type, so `dhub-magic` independently recovers the intended kind (the
+//!    analyzer must measure, not trust generator labels).
+//! 2. **Compressibility** — text compresses like text (~3–4×), ELF like
+//!    machine code (~2×), and already-compressed formats (PNG, gzip, xz)
+//!    not at all, so layer-level FLS/CLS ratios (Fig. 4) emerge honestly
+//!    from DEFLATE over the forged content.
+
+use dhub_model::FileKind;
+use dhub_stats::Rng;
+
+/// Forges `size` bytes of content of the given kind, deterministic in
+/// `seed`. Sizes below each format's minimum header are padded up.
+pub fn forge(kind: FileKind, size: u64, seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed ^ 0x00F0_A6E0_u64.wrapping_mul(kind.index() as u64 + 1));
+    let size = size as usize;
+    use FileKind::*;
+    match kind {
+        Empty => Vec::new(),
+        Elf => binary_with_header(&elf_header(&mut rng), size, 0.55, &mut rng),
+        Coff => binary_with_header(&[0x64, 0x86, 0x02, 0x00], size, 0.5, &mut rng),
+        MachO => binary_with_header(&[0xFE, 0xED, 0xFA, 0xCE, 0, 0, 0, 7], size, 0.5, &mut rng),
+        PeExecutable => binary_with_header(b"MZ\x90\x00\x03\x00\x00\x00", size, 0.55, &mut rng),
+        PythonBytecode => binary_with_header(&[0x6F, 0x0D, 0x0D, 0x0A, 0, 0, 0, 0], size, 0.7, &mut rng),
+        JavaClass => binary_with_header(&[0xCA, 0xFE, 0xBA, 0xBE, 0x00, 0x00, 0x00, 0x37], size, 0.6, &mut rng),
+        TerminfoCompiled => binary_with_header(&[0x1A, 0x01, 0x30, 0x00], size, 0.8, &mut rng),
+        DebPackage => pre_compressed(b"!<arch>\ndebian-binary   1410122664  0     0     100644  4         `\n2.0\n", size, &mut rng),
+        RpmPackage => pre_compressed(&[0xED, 0xAB, 0xEE, 0xDB, 0x03, 0x00, 0x00, 0x00], size, &mut rng),
+        Library => binary_with_header(b"!<arch>\nmember.o/       0           0     0     100644  ", size, 0.5, &mut rng),
+        CSource => source_code(size, &mut rng, &C_LINES),
+        Perl5Module => source_code(size, &mut rng, &PERL_LINES),
+        RubyModule => source_code(size, &mut rng, &RUBY_LINES),
+        PascalSource => source_code(size, &mut rng, &PASCAL_LINES),
+        FortranSource => source_code(size, &mut rng, &FORTRAN_LINES),
+        ApplesoftBasic => source_code(size, &mut rng, &BASIC_LINES),
+        LispScheme => source_code(size, &mut rng, &LISP_LINES),
+        PythonScript => script(b"#!/usr/bin/env python\n", size, &mut rng, &PY_LINES),
+        ShellScript => script(b"#!/bin/sh\n", size, &mut rng, &SH_LINES),
+        RubyScript => script(b"#!/usr/bin/ruby\n", size, &mut rng, &RUBY_LINES),
+        PerlScript => script(b"#!/usr/bin/perl\n", size, &mut rng, &PERL_LINES),
+        PhpScript => script(b"#!/usr/bin/php\n", size, &mut rng, &PHP_LINES),
+        Makefile => source_code(size, &mut rng, &MAKE_LINES),
+        M4Macro => source_code(size, &mut rng, &M4_LINES),
+        NodeScript => script(b"#!/usr/bin/env node\n", size, &mut rng, &JS_LINES),
+        TclScript => script(b"#!/usr/bin/tclsh\n", size, &mut rng, &TCL_LINES),
+        AwkScript => script(b"#!/usr/bin/awk -f\n", size, &mut rng, &AWK_LINES),
+        OtherScript => script(b"#!/opt/tool/run\n", size, &mut rng, &SH_LINES),
+        AsciiText => ascii_text(size, &mut rng),
+        Utf8Text => utf8_text(size, &mut rng),
+        Iso8859Text => iso8859_text(size, &mut rng),
+        XmlHtml => xml_html(size, &mut rng),
+        PdfPs => pre_compressed(b"%PDF-1.4\n%\xE2\xE3\xCF\xD3\n", size, &mut rng),
+        LatexDoc => latex(size, &mut rng),
+        OtherDocument => ascii_text(size, &mut rng),
+        ZipGzip => pre_compressed(&[0x1F, 0x8B, 0x08, 0x00, 0, 0, 0, 0, 0, 0xFF], size, &mut rng),
+        Bzip2 => pre_compressed(b"BZh91AY&SY", size, &mut rng),
+        XzArchive => pre_compressed(&[0xFD, b'7', b'z', b'X', b'Z', 0x00, 0x00, 0x04], size, &mut rng),
+        TarArchive => embedded_tar(size, &mut rng),
+        OtherArchive => pre_compressed(&[0x1F, 0x8B, 0x08, 0x00], size, &mut rng),
+        Png => pre_compressed(b"\x89PNG\r\n\x1a\n\x00\x00\x00\rIHDR", size, &mut rng),
+        Jpeg => pre_compressed(&[0xFF, 0xD8, 0xFF, 0xE0, 0x00, 0x10, b'J', b'F', b'I', b'F'], size, &mut rng),
+        Svg => svg(size, &mut rng),
+        Gif => pre_compressed(b"GIF89a", size, &mut rng),
+        OtherImage => pre_compressed(b"\x89PNG\r\n\x1a\n", size, &mut rng),
+        BerkeleyDb => berkeley_db(size, &mut rng),
+        MysqlDb => db_pages(&[0xFE, 0xFE, 0x07, 0x01], size, 0.85, &mut rng),
+        SqliteDb => db_pages(b"SQLite format 3\0", size, 0.9, &mut rng),
+        OtherDb => db_pages(b"PGDMP\x01\x0e\x00", size, 0.8, &mut rng),
+        Video => pre_compressed(b"RIFF\x00\x10\x00\x00AVI LIST", size, &mut rng),
+        OtherBinary => binary_with_header(&[0x00, 0x01, 0x02, 0x03], size, 0.4, &mut rng),
+        OtherEol => binary_with_header(&[0x7F, b'E', b'L', b'F', 1, 1, 1, 0], size, 0.5, &mut rng),
+    }
+}
+
+/// Suggests a file name for prototype `index` of `kind` (the classifier
+/// needs correct extensions for source/module types).
+pub fn proto_name(kind: FileKind, index: usize) -> String {
+    use FileKind::*;
+    match kind {
+        Elf => ["libfoo.so.6", "httpd", "usr_bin_tool", "libcrypt.so.1", "server"]
+            .get(index % 5)
+            .map(|b| format!("{b}.{index}"))
+            .unwrap(),
+        Coff => format!("obj_{index}.obj"),
+        MachO => format!("tool_{index}"),
+        PeExecutable => format!("setup_{index}.exe"),
+        PythonBytecode => format!("module_{index}.pyc"),
+        JavaClass => format!("Class{index}.class"),
+        TerminfoCompiled => format!("xterm-{index}"),
+        DebPackage => format!("pkg_{index}_amd64.deb"),
+        RpmPackage => format!("pkg-{index}.x86_64.rpm"),
+        Library => format!("lib{index}.a"),
+        OtherEol => format!("bin_{index}"),
+        CSource => format!("gtest_part_{index}.cc"),
+        Perl5Module => format!("Module{index}.pm"),
+        RubyModule => format!("model_{index}.rb"),
+        PascalSource => format!("unit{index}.pas"),
+        FortranSource => format!("solver{index}.f90"),
+        ApplesoftBasic => format!("prog{index}.bas"),
+        LispScheme => format!("core{index}.scm"),
+        PythonScript => format!("tool_{index}.py"),
+        AwkScript => format!("filter_{index}.awk"),
+        RubyScript => format!("task_{index}"),
+        PerlScript => format!("gen_{index}.pl"),
+        PhpScript => format!("page_{index}.php"),
+        Makefile => if index.is_multiple_of(3) { "Makefile".to_string() } else { format!("rules_{index}.mk") },
+        M4Macro => format!("aclocal_{index}.m4"),
+        NodeScript => format!("index_{index}.js"),
+        TclScript => format!("setup_{index}.tcl"),
+        ShellScript => format!("entrypoint_{index}.sh"),
+        OtherScript => format!("hook_{index}"),
+        AsciiText => ["README", "LICENSE", "ChangeLog", "NOTICE", "dependency_links.txt"]
+            .get(index % 5)
+            .map(|b| format!("{b}.{index}"))
+            .unwrap(),
+        Utf8Text => format!("notes_{index}.txt"),
+        Iso8859Text => format!("legacy_{index}.txt"),
+        XmlHtml => format!("page_{index}.html"),
+        PdfPs => format!("doc_{index}.pdf"),
+        LatexDoc => format!("paper_{index}.tex"),
+        OtherDocument => format!("doc_{index}"),
+        ZipGzip => format!("bundle_{index}.tar.gz"),
+        Bzip2 => format!("data_{index}.tar.bz2"),
+        XzArchive => format!("dist_{index}.tar.xz"),
+        TarArchive => format!("backup_{index}.tar"),
+        OtherArchive => format!("pack_{index}.gz"),
+        Png => format!("icon_{index}.png"),
+        Jpeg => format!("photo_{index}.jpg"),
+        Svg => format!("logo_{index}.svg"),
+        Gif => format!("anim_{index}.gif"),
+        OtherImage => format!("img_{index}.png"),
+        BerkeleyDb => format!("index_{index}.db"),
+        MysqlDb => format!("table_{index}.MYI"),
+        SqliteDb => format!("app_{index}.sqlite"),
+        OtherDb => format!("dump_{index}.dump"),
+        Video => format!("clip_{index}.avi"),
+        OtherBinary => format!("blob_{index}.bin"),
+        Empty => ["__init__.py", ".gitkeep", "lock", ".npmignore", "placeholder"]
+            [index % 5]
+            .to_string(),
+    }
+}
+
+// --- Builders ---------------------------------------------------------------
+
+/// A minimal but valid-looking 64-bit ELF header.
+fn elf_header(rng: &mut Rng) -> Vec<u8> {
+    let mut h = vec![0u8; 64];
+    h[0..4].copy_from_slice(b"\x7fELF");
+    h[4] = 2; // 64-bit
+    h[5] = 1; // little endian
+    h[6] = 1; // version
+    h[16] = if rng.chance(0.5) { 3 } else { 2 }; // DYN or EXEC
+    h[18] = 0x3E; // x86-64
+    h
+}
+
+/// Header + body that is `pattern_frac` repetitive machine-code-like
+/// patterns and the rest high-entropy — yielding ELF-like ratios (~2×).
+fn binary_with_header(header: &[u8], size: usize, pattern_frac: f64, rng: &mut Rng) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size.max(header.len()));
+    out.extend_from_slice(header);
+    // Instruction-like motifs repeated with small mutations.
+    let mut motif = [0u8; 16];
+    rng.fill_bytes(&mut motif);
+    while out.len() < size {
+        if rng.chance(pattern_frac) {
+            out.extend_from_slice(&motif);
+            // Occasional motif drift, as relocation targets vary.
+            if rng.chance(0.1) {
+                let i = rng.below(16) as usize;
+                motif[i] = rng.next_u64() as u8;
+            }
+        } else {
+            out.extend_from_slice(&rng.next_u64().to_le_bytes());
+        }
+    }
+    out.truncate(size.max(header.len()));
+    out
+}
+
+/// Signature + incompressible body (for formats that are themselves
+/// compressed).
+fn pre_compressed(sig: &[u8], size: usize, rng: &mut Rng) -> Vec<u8> {
+    let total = size.max(sig.len());
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(sig);
+    let mut buf = vec![0u8; total - out.len()];
+    rng.fill_bytes(&mut buf);
+    out.extend_from_slice(&buf);
+    out
+}
+
+/// DB file: page-structured, `zero_frac` of each page zeroed (sparse pages
+/// compress enormously — the source of the paper's max ratio ~1026).
+fn db_pages(sig: &[u8], size: usize, zero_frac: f64, rng: &mut Rng) -> Vec<u8> {
+    let total = size.max(sig.len());
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(sig);
+    const PAGE: usize = 4096;
+    while out.len() < total {
+        let page_end = (out.len() + PAGE).min(total);
+        let data_bytes = ((page_end - out.len()) as f64 * (1.0 - zero_frac)) as usize;
+        for _ in 0..data_bytes {
+            out.push(rng.next_u64() as u8);
+        }
+        out.resize(page_end, 0);
+    }
+    out
+}
+
+/// Berkeley DB: magic at offset 12, then sparse pages.
+fn berkeley_db(size: usize, rng: &mut Rng) -> Vec<u8> {
+    let mut head = vec![0u8; 16];
+    head[12..16].copy_from_slice(&0x0005_3162u32.to_le_bytes());
+    let mut out = db_pages(&[], size.saturating_sub(16), 0.85, rng);
+    head.append(&mut out);
+    head
+}
+
+/// A small tar archive as file payload (files *inside* images are
+/// sometimes tars, Fig. 20).
+fn embedded_tar(size: usize, rng: &mut Rng) -> Vec<u8> {
+    // One ustar header block then text-ish payload; rounded to 512.
+    let mut out = vec![0u8; 512];
+    // Unique member name per prototype so tiny tars stay distinct files.
+    let name = format!("data/file-{:08x}\0", rng.next_u64() as u32);
+    out[0..name.len()].copy_from_slice(name.as_bytes());
+    out[257..262].copy_from_slice(b"ustar");
+    out[156] = b'0';
+    let body = ascii_text(size.saturating_sub(512), rng);
+    out.extend_from_slice(&body);
+    out
+}
+
+const WORDS: [&str; 32] = [
+    "container", "registry", "layer", "image", "manifest", "storage", "deduplication", "docker",
+    "file", "system", "analysis", "compression", "ratio", "pull", "push", "cache", "latency",
+    "the", "of", "and", "for", "with", "data", "size", "count", "type", "distribution", "metadata",
+    "archive", "snapshot", "popular", "daemon",
+];
+
+fn words_to(out: &mut Vec<u8>, size: usize, rng: &mut Rng) {
+    while out.len() < size {
+        out.extend_from_slice(rng.pick(&WORDS).as_bytes());
+        out.push(if rng.chance(0.12) { b'\n' } else { b' ' });
+    }
+    out.truncate(size);
+    if let Some(last) = out.last_mut() {
+        *last = b'\n';
+    }
+}
+
+/// Plain ASCII prose.
+fn ascii_text(size: usize, rng: &mut Rng) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size);
+    words_to(&mut out, size, rng);
+    out
+}
+
+/// UTF-8 text with multibyte content.
+fn utf8_text(size: usize, rng: &mut Rng) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size + 4);
+    out.extend_from_slice("Résumé — 概要\n".as_bytes());
+    words_to(&mut out, size.max(20), rng);
+    // Ensure no multi-byte sequence was cut.
+    while std::str::from_utf8(&out).is_err() {
+        out.pop();
+    }
+    out
+}
+
+/// ISO-8859-1 text: high bytes that are not valid UTF-8.
+fn iso8859_text(size: usize, rng: &mut Rng) -> Vec<u8> {
+    let mut out = ascii_text(size.max(8), rng);
+    // Sprinkle latin-1 accents; 0xE9 alone is invalid UTF-8.
+    let n = out.len();
+    for i in (4..n).step_by(7) {
+        out[i] = 0xE9;
+    }
+    out
+}
+
+/// XML/HTML document.
+fn xml_html(size: usize, rng: &mut Rng) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size + 64);
+    // The document id keeps even header-only instances unique per
+    // prototype; without it, every scaled-down XML file would dedup into
+    // one identity and distort Fig. 24.
+    out.extend_from_slice(
+        format!("<?xml version=\"1.0\"?>\n<doc id=\"{:016x}\">\n", rng.next_u64()).as_bytes(),
+    );
+    while out.len() + 8 < size {
+        out.extend_from_slice(b"  <item attr=\"");
+        out.extend_from_slice(rng.pick(&WORDS).as_bytes());
+        out.extend_from_slice(b"\">");
+        out.extend_from_slice(rng.pick(&WORDS).as_bytes());
+        out.extend_from_slice(b"</item>\n");
+    }
+    out.extend_from_slice(b"</doc>\n");
+    out
+}
+
+/// SVG image (text-form).
+fn svg(size: usize, rng: &mut Rng) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size + 64);
+    out.extend_from_slice(
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"64\" height=\"64\" id=\"g{:012x}\">\n",
+            rng.next_u64() & 0xFFFF_FFFF_FFFF
+        )
+        .as_bytes(),
+    );
+    while out.len() + 8 < size {
+        out.extend_from_slice(
+            format!(
+                "  <rect x=\"{}\" y=\"{}\" width=\"8\" height=\"8\"/>\n",
+                rng.below(64),
+                rng.below(64)
+            )
+            .as_bytes(),
+        );
+    }
+    out.extend_from_slice(b"</svg>\n");
+    out
+}
+
+/// LaTeX source.
+fn latex(size: usize, rng: &mut Rng) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size + 64);
+    out.extend_from_slice(
+        format!("\\documentclass{{article}}\n% doc {:016x}\n\\begin{{document}}\n", rng.next_u64())
+            .as_bytes(),
+    );
+    words_to(&mut out, size.saturating_sub(16).max(48), rng);
+    out.extend_from_slice(b"\n\\end{document}\n");
+    out
+}
+
+/// Source file from template lines.
+fn source_code(size: usize, rng: &mut Rng, lines: &[&str]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size + 64);
+    while out.len() < size {
+        let line = rng.pick(lines);
+        // Identifier variation so files differ while staying compressible.
+        let id = rng.below(10_000);
+        out.extend_from_slice(line.replace("{}", &format!("v{id}")).as_bytes());
+        out.push(b'\n');
+    }
+    out.truncate(size.max(lines[0].len()));
+    if let Some(last) = out.last_mut() {
+        *last = b'\n';
+    }
+    out
+}
+
+/// Shebang + source body.
+fn script(shebang: &[u8], size: usize, rng: &mut Rng, lines: &[&str]) -> Vec<u8> {
+    let mut out = shebang.to_vec();
+    let body = source_code(size.saturating_sub(shebang.len()).max(8), rng, lines);
+    out.extend_from_slice(&body);
+    out
+}
+
+const C_LINES: [&str; 6] = [
+    "static int {}(const char *path, size_t len) {",
+    "    return memcmp(buf_{}, expected, sizeof(expected));",
+    "}",
+    "#include <gtest/gtest_{}.h>",
+    "TEST(RegistrySuite, Handles{}) { EXPECT_EQ(1, 1); }",
+    "/* layer handling for {} */",
+];
+const PERL_LINES: [&str; 4] =
+    ["package Dhub::{};", "sub run_{} { my ($self) = @_; return 1; }", "use strict;", "1;"];
+const RUBY_LINES: [&str; 4] =
+    ["class {}Worker", "  def perform_{}(args)", "  end", "end"];
+const PASCAL_LINES: [&str; 3] = ["procedure {};", "begin", "end;"];
+const FORTRAN_LINES: [&str; 3] = ["      SUBROUTINE {}(N)", "      INTEGER N", "      END"];
+const BASIC_LINES: [&str; 3] = ["10 PRINT \"{}\"", "20 GOTO 10", "30 END"];
+const LISP_LINES: [&str; 3] = ["(define ({} x) (+ x 1))", "(display {})", "(newline)"];
+const PY_LINES: [&str; 5] = [
+    "def handler_{}(request):",
+    "    return dict(status=200, body='{}')",
+    "import os, sys",
+    "class Registry{}(object):",
+    "    pass",
+];
+const SH_LINES: [&str; 4] =
+    ["set -e", "export PATH=/usr/local/bin:$PATH # {}", "exec \"$@\" # {}", "echo starting {}"];
+const PHP_LINES: [&str; 3] = ["<?php function f_{}() { return 1; } ?>", "$x_{} = 42;", "echo $x;"];
+const MAKE_LINES: [&str; 3] = ["all: {}", "\t$(CC) -o {} main.c", ".PHONY: clean_{}"];
+const M4_LINES: [&str; 2] = ["AC_DEFUN([{}], [AC_MSG_CHECKING([for {}])])", "m4_define([{}], [1])"];
+const JS_LINES: [&str; 3] =
+    ["module.exports.{} = function(req) { return 200; };", "const {} = require('fs');", "// {}"];
+const TCL_LINES: [&str; 2] = ["proc {} {args} { return 1 }", "set var_{} 42"];
+const AWK_LINES: [&str; 2] = ["/{}/ { count++ }", "END { print count_{} }"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_compress::{gzip_compress, gzip_decompress, CompressOptions};
+    use dhub_magic::classify;
+
+    /// The classifier must recover every kind the generator actually
+    /// emits (catch-all kinds like `OtherEol` have no signature of their
+    /// own and are not part of the mix).
+    #[test]
+    fn classifier_recovers_all_generated_kinds() {
+        for spec in &crate::calibration::KIND_MIX {
+            let kind = spec.kind;
+            let size = if kind == FileKind::Empty { 0 } else { 6000 };
+            let name = proto_name(kind, 3);
+            let data = forge(kind, size, 42);
+            let got = classify(&name, &data);
+            assert_eq!(got, kind, "kind {kind:?} misclassified as {got:?} (name {name})");
+        }
+    }
+
+    #[test]
+    fn classifier_recovers_empty_and_special() {
+        assert_eq!(classify(&proto_name(FileKind::Empty, 0), &forge(FileKind::Empty, 0, 1)), FileKind::Empty);
+        assert_eq!(
+            classify(&proto_name(FileKind::OtherBinary, 0), &forge(FileKind::OtherBinary, 100, 1)),
+            FileKind::OtherBinary
+        );
+        assert_eq!(classify("clip.avi", &forge(FileKind::Video, 4096, 9)), FileKind::Video);
+    }
+
+    #[test]
+    fn forging_is_deterministic() {
+        assert_eq!(forge(FileKind::Elf, 5000, 7), forge(FileKind::Elf, 5000, 7));
+        assert_ne!(forge(FileKind::Elf, 5000, 7), forge(FileKind::Elf, 5000, 8));
+    }
+
+    #[test]
+    fn sizes_are_respected() {
+        for kind in [FileKind::AsciiText, FileKind::Elf, FileKind::Png, FileKind::SqliteDb] {
+            for size in [100u64, 4096, 100_000] {
+                let data = forge(kind, size, 1);
+                let ratio = data.len() as f64 / size as f64;
+                assert!((0.9..1.3).contains(&ratio), "{kind:?} size {size} -> {}", data.len());
+            }
+        }
+    }
+
+    fn ratio_of(kind: FileKind, size: u64) -> f64 {
+        let data = forge(kind, size, 11);
+        let gz = gzip_compress(&data, &CompressOptions::default());
+        assert_eq!(gzip_decompress(&gz).unwrap(), data);
+        data.len() as f64 / gz.len() as f64
+    }
+
+    #[test]
+    fn text_compresses_well() {
+        let r = ratio_of(FileKind::AsciiText, 100_000);
+        assert!(r > 2.5, "ascii ratio {r}");
+        let r = ratio_of(FileKind::CSource, 100_000);
+        assert!(r > 2.5, "C source ratio {r}");
+    }
+
+    #[test]
+    fn precompressed_does_not_compress() {
+        for kind in [FileKind::Png, FileKind::ZipGzip, FileKind::XzArchive, FileKind::Jpeg] {
+            let r = ratio_of(kind, 100_000);
+            assert!(r < 1.1, "{kind:?} ratio {r}");
+        }
+    }
+
+    #[test]
+    fn elf_ratio_is_moderate() {
+        let r = ratio_of(FileKind::Elf, 200_000);
+        assert!((1.2..5.0).contains(&r), "ELF ratio {r}");
+    }
+
+    #[test]
+    fn db_files_compress_enormously() {
+        let r = ratio_of(FileKind::SqliteDb, 500_000);
+        assert!(r > 5.0, "sqlite ratio {r}");
+    }
+
+    #[test]
+    fn proto_names_have_stable_extensions() {
+        assert!(proto_name(FileKind::CSource, 5).ends_with(".cc"));
+        assert!(proto_name(FileKind::PythonBytecode, 1).ends_with(".pyc"));
+        assert_eq!(proto_name(FileKind::Empty, 0), "__init__.py");
+    }
+}

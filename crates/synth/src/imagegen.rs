@@ -1,0 +1,152 @@
+//! Image assembly: layer stacks, base-chain sharing, popularity.
+
+use crate::calibration::*;
+use dhub_stats::{Categorical, LogNormal, Pareto, Rng};
+
+/// Samples a layers-per-image count (Fig. 10: p50 8, p90 18, mode 8 via an
+/// explicit boost, max 120, ~2 % single-layer images).
+pub fn sample_layer_count(dist: &Categorical, rng: &mut Rng) -> usize {
+    dist.sample(rng) + 1
+}
+
+/// Builds the layers-per-image pmf once (support 1..=120).
+pub fn layer_count_dist() -> Categorical {
+    let body = LogNormal::from_median_p90(LAYERS_PER_IMAGE_MEDIAN, LAYERS_PER_IMAGE_P90);
+    let sigma = body.sigma;
+    let mut weights = vec![0.0f64; LAYERS_PER_IMAGE_MAX];
+    for (i, w) in weights.iter_mut().enumerate() {
+        let k = (i + 1) as f64;
+        // Log-normal density, discretized.
+        let z = (k.ln() - body.mu) / sigma;
+        *w = (-0.5 * z * z).exp() / k;
+    }
+    // Fig. 10b: a distinct spike at exactly 8 layers.
+    weights[7] *= LAYERS_PER_IMAGE_MODE_BOOST;
+    // ~2 % of images have a single layer.
+    let total: f64 = weights.iter().skip(1).sum();
+    weights[0] = total * SINGLE_LAYER_IMAGE_FRACTION / (1.0 - SINGLE_LAYER_IMAGE_FRACTION);
+    Categorical::new(&weights)
+}
+
+/// Samples a repository pull count (Fig. 8: p50 ≈ 40, p90 ≈ 333, secondary
+/// histogram peak near 37, heavy Pareto head).
+pub fn sample_pull_count(rng: &mut Rng) -> u64 {
+    let u = rng.next_f64();
+    if u < PULLS_DORMANT_WEIGHT {
+        // Dormant repos: the 0–5 pulls spike of Fig. 8b.
+        rng.below(6)
+    } else if u < PULLS_DORMANT_WEIGHT + PULLS_COMMUNITY_WEIGHT {
+        let d = LogNormal { mu: PULLS_COMMUNITY_MEDIAN.ln(), sigma: PULLS_COMMUNITY_SIGMA };
+        d.sample(rng).round() as u64
+    } else {
+        let d = Pareto { lo: PULLS_TAIL_LO, hi: PULLS_TAIL_HI, alpha: PULLS_TAIL_ALPHA };
+        d.sample(rng).round() as u64
+    }
+}
+
+/// What happened to a repository in the study (§III-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepoFate {
+    /// Has `latest`, anonymous pulls allowed — downloadable.
+    Ok,
+    /// Rejects anonymous pulls (13 % of failures).
+    AuthRequired,
+    /// No `latest` tag (87 % of failures).
+    NoLatest,
+}
+
+/// Assigns a fate by configured fractions.
+pub fn sample_fate(cfg: &SynthConfig, rng: &mut Rng) -> RepoFate {
+    let u = rng.next_f64();
+    if u < cfg.auth_fraction {
+        RepoFate::AuthRequired
+    } else if u < cfg.auth_fraction + cfg.no_latest_fraction {
+        RepoFate::NoLatest
+    } else {
+        RepoFate::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_shape() {
+        let dist = layer_count_dist();
+        let mut rng = Rng::new(1);
+        let mut counts = vec![0u32; LAYERS_PER_IMAGE_MAX + 1];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[sample_layer_count(&dist, &mut rng)] += 1;
+        }
+        // Mode at exactly 8.
+        let mode = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_eq!(mode, 8, "mode {mode}");
+        // Median near 8.
+        let mut cum = 0u32;
+        let mut median = 0;
+        for (k, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum as f64 >= n as f64 / 2.0 {
+                median = k;
+                break;
+            }
+        }
+        assert!((7..=9).contains(&median), "median {median}");
+        // ~2 % single layer.
+        let single = counts[1] as f64 / n as f64;
+        assert!((0.01..0.035).contains(&single), "single-layer {single}");
+        // p90 around 18.
+        let mut cum = 0u32;
+        let mut p90 = 0;
+        for (k, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum as f64 >= n as f64 * 0.9 {
+                p90 = k;
+                break;
+            }
+        }
+        assert!((14..=24).contains(&p90), "p90 {p90}");
+        assert_eq!(counts[0], 0, "layer count 0 must not occur");
+    }
+
+    #[test]
+    fn pull_count_shape() {
+        let mut rng = Rng::new(2);
+        let mut pulls: Vec<u64> = (0..100_000).map(|_| sample_pull_count(&mut rng)).collect();
+        pulls.sort_unstable();
+        let p50 = pulls[pulls.len() / 2];
+        let p90 = pulls[(pulls.len() as f64 * 0.9) as usize];
+        assert!((25..=60).contains(&p50), "p50 pulls {p50}");
+        assert!((200..=600).contains(&p90), "p90 pulls {p90}");
+        // Heavy skew: max far above median.
+        assert!(*pulls.last().unwrap() > p50 * 1000);
+        // The dormant spike exists.
+        let dormant = pulls.iter().filter(|&&p| p <= 5).count() as f64 / pulls.len() as f64;
+        assert!((0.12..0.25).contains(&dormant), "dormant {dormant}");
+    }
+
+    #[test]
+    fn fate_fractions() {
+        let cfg = SynthConfig::default_scale(3);
+        let mut rng = Rng::new(3);
+        let n = 100_000;
+        let mut auth = 0;
+        let mut nolatest = 0;
+        for _ in 0..n {
+            match sample_fate(&cfg, &mut rng) {
+                RepoFate::AuthRequired => auth += 1,
+                RepoFate::NoLatest => nolatest += 1,
+                RepoFate::Ok => {}
+            }
+        }
+        let auth_f = auth as f64 / n as f64;
+        let nl_f = nolatest as f64 / n as f64;
+        assert!((auth_f - cfg.auth_fraction).abs() < 0.005);
+        assert!((nl_f - cfg.no_latest_fraction).abs() < 0.01);
+        // Failure split ≈ 13 % / 87 % (§III-B).
+        let auth_share = auth_f / (auth_f + nl_f);
+        assert!((auth_share - 0.13).abs() < 0.03, "auth share of failures {auth_share}");
+    }
+}

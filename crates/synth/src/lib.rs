@@ -1,0 +1,35 @@
+//! Calibrated synthetic Docker Hub generator.
+//!
+//! The paper measured a 47 TB crawl of the real Docker Hub; that snapshot
+//! is not reproducible, so this crate builds the closest synthetic
+//! equivalent: a registry whose *marginal distributions* match every
+//! number the paper reports (see [`calibration`] for the full list with
+//! citations), at laptop scale. The generator works bottom-up exactly like
+//! real image builds do:
+//!
+//! * [`forge`] — fabricates file contents per taxonomy type with *valid
+//!   magic signatures* and realistic compressibility, so the analyzer's
+//!   classifier and the DEFLATE codec measure real properties rather than
+//!   generator labels,
+//! * [`pool`] — per-type pools of unique file prototypes with Zipf
+//!   popularity; file-level duplication across layers (the paper's central
+//!   finding) emerges from layers drawing from shared pools,
+//! * [`layergen`] — assembles directory trees + files into tar layers and
+//!   gzip-compresses them,
+//! * [`imagegen`]/[`hubgen`] — stacks shared base chains, app layers, and
+//!   the famous empty layer into images, pushes everything into a
+//!   [`dhub_registry::Registry`], implants pull counts, and builds the
+//!   search index the crawler will scrape.
+//!
+//! Everything is deterministic given `SynthConfig::seed`.
+
+pub mod calibration;
+pub mod forge;
+pub mod hubgen;
+pub mod imagegen;
+pub mod layergen;
+pub mod paths;
+pub mod pool;
+
+pub use calibration::SynthConfig;
+pub use hubgen::{generate_hub, GroundTruth, SyntheticHub};

@@ -1,0 +1,151 @@
+//! Directory-tree generation for layers.
+//!
+//! Layers get realistic filesystem shapes: directory counts track file
+//! counts (Fig. 5 vs Fig. 6: ≈ 2.7 files/dir at the median), directory
+//! depths are mode-3 with a thin deep tail (Fig. 7), and path components
+//! come from a Unix-flavoured vocabulary so tar name/prefix handling gets
+//! exercised realistically.
+
+use crate::calibration::{DEPTH_WEIGHTS, FILES_PER_DIR};
+use dhub_stats::{Categorical, Rng};
+
+/// Common top-level and nested path components.
+const ROOTS: [&str; 12] =
+    ["usr", "etc", "var", "opt", "bin", "lib", "srv", "home", "tmp", "run", "sbin", "data"];
+const MIDS: [&str; 16] = [
+    "lib", "share", "local", "bin", "app", "src", "include", "config", "cache", "log", "python2.7",
+    "site-packages", "node_modules", "vendor", "doc", "man",
+];
+
+/// A generated directory tree: paths plus an assignment distribution.
+pub struct DirTree {
+    /// Directory paths, no trailing slash, parents before children.
+    pub dirs: Vec<String>,
+    /// Zipf over directories for file placement (some dirs are hot,
+    /// like `usr/lib`).
+    placement: Categorical,
+}
+
+impl DirTree {
+    /// Generates a tree sized for `nfiles` files.
+    pub fn generate(nfiles: u64, rng: &mut Rng) -> DirTree {
+        let target_dirs = ((nfiles as f64 / FILES_PER_DIR).round() as usize).max(1);
+        let depth_dist = Categorical::new(&DEPTH_WEIGHTS);
+
+        let mut dirs: Vec<String> = Vec::with_capacity(target_dirs);
+        let mut seen = std::collections::HashSet::new();
+        // Always have a root dir so every layer has ≥ 1 directory (Fig. 6
+        // reports a minimum of one).
+        let first = ROOTS[rng.below(ROOTS.len() as u64) as usize].to_string();
+        seen.insert(first.clone());
+        dirs.push(first);
+
+        let mut attempts = 0usize;
+        while dirs.len() < target_dirs && attempts < target_dirs * 8 {
+            attempts += 1;
+            let depth = depth_dist.sample(rng) + 1; // 1..=12
+            let mut path = String::new();
+            path.push_str(ROOTS[rng.below(ROOTS.len() as u64) as usize]);
+            for d in 1..depth {
+                path.push('/');
+                // Numbered components keep deep trees from colliding.
+                if d >= MIDS.len() || rng.chance(0.25) {
+                    path.push_str(&format!("d{}", rng.below(1 + nfiles / 2 + 50)));
+                } else {
+                    path.push_str(MIDS[rng.below(MIDS.len() as u64) as usize]);
+                }
+            }
+            // Insert all ancestors so the tree is closed under parents.
+            let mut prefix = String::new();
+            for comp in path.split('/') {
+                if !prefix.is_empty() {
+                    prefix.push('/');
+                }
+                prefix.push_str(comp);
+                if seen.insert(prefix.clone()) {
+                    dirs.push(prefix.clone());
+                }
+            }
+        }
+        // Hot-dir skew for placement.
+        let weights: Vec<f64> = (0..dirs.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(0.8)).collect();
+        DirTree { dirs, placement: Categorical::new(&weights) }
+    }
+
+    /// Picks a directory for the next file.
+    pub fn place(&self, rng: &mut Rng) -> &str {
+        &self.dirs[self.placement.sample(rng)]
+    }
+
+    /// Maximum directory depth in the tree.
+    pub fn max_depth(&self) -> u64 {
+        self.dirs.iter().map(|d| d.split('/').count() as u64).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_closed_under_parents() {
+        let mut rng = Rng::new(3);
+        let tree = DirTree::generate(500, &mut rng);
+        let set: std::collections::HashSet<&str> = tree.dirs.iter().map(|s| s.as_str()).collect();
+        for d in &tree.dirs {
+            if let Some((parent, _)) = d.rsplit_once('/') {
+                assert!(set.contains(parent), "missing parent of {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dir_count_tracks_files() {
+        let mut rng = Rng::new(4);
+        let tree = DirTree::generate(270, &mut rng);
+        let ratio = 270.0 / tree.dirs.len() as f64;
+        assert!((1.5..6.0).contains(&ratio), "files/dir {ratio} ({} dirs)", tree.dirs.len());
+    }
+
+    #[test]
+    fn min_one_dir() {
+        let mut rng = Rng::new(5);
+        let tree = DirTree::generate(0, &mut rng);
+        assert_eq!(tree.dirs.len(), 1);
+        assert!(tree.max_depth() >= 1);
+    }
+
+    #[test]
+    fn depths_mode_near_three() {
+        let rng = Rng::new(6);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..200 {
+            let tree = DirTree::generate(100, &mut rng.fork(i));
+            for d in &tree.dirs {
+                *counts.entry(d.split('/').count()).or_insert(0u32) += 1;
+            }
+        }
+        let mode = counts.iter().max_by_key(|(_, &c)| c).map(|(&d, _)| d).unwrap();
+        assert!((2..=4).contains(&mode), "depth mode {mode}, counts {counts:?}");
+        let deep: u32 = counts.iter().filter(|(&d, _)| d > 10).map(|(_, &c)| c).sum();
+        let total: u32 = counts.values().sum();
+        assert!((deep as f64) < total as f64 * 0.05, "too many deep dirs");
+    }
+
+    #[test]
+    fn placement_in_range() {
+        let mut rng = Rng::new(7);
+        let tree = DirTree::generate(50, &mut rng);
+        for _ in 0..100 {
+            let d = tree.place(&mut rng);
+            assert!(tree.dirs.iter().any(|x| x == d));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let t1 = DirTree::generate(100, &mut Rng::new(9));
+        let t2 = DirTree::generate(100, &mut Rng::new(9));
+        assert_eq!(t1.dirs, t2.dirs);
+    }
+}

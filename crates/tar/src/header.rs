@@ -1,0 +1,190 @@
+//! Tar entry model and the 512-byte ustar header codec.
+
+/// Tar block size; headers and data are padded to this.
+pub const BLOCK_SIZE: usize = 512;
+
+/// Errors raised on malformed archives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TarError {
+    /// Archive ended mid-entry.
+    Truncated,
+    /// Header checksum mismatch.
+    BadChecksum,
+    /// A numeric field contained non-octal characters.
+    BadNumber,
+    /// Unsupported type flag.
+    UnsupportedType(u8),
+    /// A GNU long-name record was not followed by a real entry.
+    DanglingLongName,
+    /// Entry name is not valid UTF-8 (paths in this study always are).
+    BadUtf8,
+}
+
+impl std::fmt::Display for TarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TarError::Truncated => f.write_str("truncated tar archive"),
+            TarError::BadChecksum => f.write_str("tar header checksum mismatch"),
+            TarError::BadNumber => f.write_str("invalid octal field"),
+            TarError::UnsupportedType(t) => write!(f, "unsupported tar entry type {:?}", *t as char),
+            TarError::DanglingLongName => f.write_str("GNU long-name record without entry"),
+            TarError::BadUtf8 => f.write_str("non-UTF-8 path"),
+        }
+    }
+}
+
+impl std::error::Error for TarError {}
+
+/// What an entry is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Regular file with contents.
+    File(Vec<u8>),
+    /// Directory.
+    Dir,
+    /// Symbolic link to `target`.
+    Symlink(String),
+    /// Hard link to `target` (an earlier path in the same archive).
+    Hardlink(String),
+}
+
+/// One archive member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TarEntry {
+    /// Slash-separated relative path.
+    pub path: String,
+    /// Payload / link target.
+    pub kind: EntryKind,
+    /// Unix permission bits.
+    pub mode: u32,
+    /// Owner uid/gid (container layers are almost always root).
+    pub uid: u32,
+    pub gid: u32,
+    /// Modification time, seconds since the epoch.
+    pub mtime: u64,
+}
+
+impl TarEntry {
+    /// Regular file with default metadata.
+    pub fn file(path: &str, data: Vec<u8>) -> TarEntry {
+        TarEntry { path: path.to_string(), kind: EntryKind::File(data), mode: 0o644, uid: 0, gid: 0, mtime: 0 }
+    }
+
+    /// Directory with default metadata.
+    pub fn dir(path: &str) -> TarEntry {
+        TarEntry { path: path.to_string(), kind: EntryKind::Dir, mode: 0o755, uid: 0, gid: 0, mtime: 0 }
+    }
+
+    /// Symlink with default metadata.
+    pub fn symlink(path: &str, target: &str) -> TarEntry {
+        TarEntry {
+            path: path.to_string(),
+            kind: EntryKind::Symlink(target.to_string()),
+            mode: 0o777,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+        }
+    }
+
+    /// Hardlink with default metadata.
+    pub fn hardlink(path: &str, target: &str) -> TarEntry {
+        TarEntry {
+            path: path.to_string(),
+            kind: EntryKind::Hardlink(target.to_string()),
+            mode: 0o644,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+        }
+    }
+
+    /// File contents (empty slice for non-files).
+    pub fn data(&self) -> &[u8] {
+        match &self.kind {
+            EntryKind::File(d) => d,
+            _ => &[],
+        }
+    }
+
+    /// Size of the payload that follows the header.
+    pub fn payload_len(&self) -> usize {
+        self.data().len()
+    }
+
+    /// True if this entry is a regular file.
+    pub fn is_file(&self) -> bool {
+        matches!(self.kind, EntryKind::File(_))
+    }
+}
+
+/// Writes an octal numeric field: `width-1` octal digits + NUL.
+pub fn write_octal(buf: &mut [u8], value: u64) {
+    let width = buf.len();
+    let s = format!("{:0>width$o}\0", value, width = width - 1);
+    buf.copy_from_slice(s.as_bytes());
+}
+
+/// Parses an octal field, tolerating leading spaces and trailing NUL/space.
+pub fn parse_octal(field: &[u8]) -> Result<u64, TarError> {
+    let mut v: u64 = 0;
+    let mut seen = false;
+    for &b in field {
+        match b {
+            b'0'..=b'7' => {
+                v = v.checked_mul(8).and_then(|v| v.checked_add((b - b'0') as u64)).ok_or(TarError::BadNumber)?;
+                seen = true;
+            }
+            b' ' if !seen => continue,
+            b'\0' | b' ' => break,
+            _ => return Err(TarError::BadNumber),
+        }
+    }
+    Ok(v)
+}
+
+/// Computes the header checksum: byte sum with the checksum field blanked.
+pub fn checksum(header: &[u8; BLOCK_SIZE]) -> u32 {
+    let mut sum: u32 = 0;
+    for (i, &b) in header.iter().enumerate() {
+        sum += if (148..156).contains(&i) { b' ' as u32 } else { b as u32 };
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octal_roundtrip() {
+        let mut buf = [0u8; 12];
+        for v in [0u64, 1, 0o644, 0o777, 123456, 0o77777777777] {
+            write_octal(&mut buf, v);
+            assert_eq!(parse_octal(&buf).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_octal_tolerates_gnu_format() {
+        assert_eq!(parse_octal(b"  644 \0").unwrap(), 0o644);
+        assert_eq!(parse_octal(b"\0\0\0").unwrap(), 0);
+    }
+
+    #[test]
+    fn parse_octal_rejects_garbage() {
+        assert_eq!(parse_octal(b"12x4"), Err(TarError::BadNumber));
+        assert_eq!(parse_octal(b"9"), Err(TarError::BadNumber));
+    }
+
+    #[test]
+    fn entry_constructors() {
+        let f = TarEntry::file("a/b", vec![1, 2]);
+        assert!(f.is_file());
+        assert_eq!(f.payload_len(), 2);
+        let d = TarEntry::dir("a/");
+        assert!(!d.is_file());
+        assert_eq!(d.data(), b"");
+        assert_eq!(d.mode, 0o755);
+    }
+}

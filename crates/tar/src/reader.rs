@@ -1,0 +1,177 @@
+//! Tar archive reader.
+
+use crate::header::{checksum, parse_octal, EntryKind, TarEntry, TarError, BLOCK_SIZE};
+
+/// Iterator over the entries of an in-memory tar archive.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    /// Long name captured from a preceding GNU 'L' record.
+    pending_longname: Option<String>,
+    done: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over archive bytes.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0, pending_longname: None, done: false }
+    }
+
+    fn take_block(&mut self) -> Result<&'a [u8], TarError> {
+        if self.pos + BLOCK_SIZE > self.data.len() {
+            return Err(TarError::Truncated);
+        }
+        let b = &self.data[self.pos..self.pos + BLOCK_SIZE];
+        self.pos += BLOCK_SIZE;
+        Ok(b)
+    }
+
+    fn next_entry(&mut self) -> Result<Option<TarEntry>, TarError> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            if self.pos >= self.data.len() {
+                // Tolerate archives missing the final zero blocks (some
+                // real-world docker layers are truncated like this).
+                self.done = true;
+                return Ok(None);
+            }
+            let block = self.take_block()?;
+            if block.iter().all(|&b| b == 0) {
+                // End marker (first of two zero blocks).
+                self.done = true;
+                return Ok(None);
+            }
+            let mut header = [0u8; BLOCK_SIZE];
+            header.copy_from_slice(block);
+            let want = parse_octal(&header[148..156])?;
+            if checksum(&header) as u64 != want {
+                return Err(TarError::BadChecksum);
+            }
+            let size = parse_octal(&header[124..136])? as usize;
+            let mode = parse_octal(&header[100..108])? as u32;
+            let uid = parse_octal(&header[108..116])? as u32;
+            let gid = parse_octal(&header[116..124])? as u32;
+            let mtime = parse_octal(&header[136..148])?;
+            let typeflag = header[156];
+
+            let payload_blocks = size.div_ceil(BLOCK_SIZE);
+            if self.pos + payload_blocks * BLOCK_SIZE > self.data.len() {
+                return Err(TarError::Truncated);
+            }
+            let payload = &self.data[self.pos..self.pos + size];
+            self.pos += payload_blocks * BLOCK_SIZE;
+
+            if typeflag == b'L' {
+                // GNU long name: payload is the real path (NUL-terminated).
+                let end = payload.iter().position(|&b| b == 0).unwrap_or(payload.len());
+                let name = std::str::from_utf8(&payload[..end]).map_err(|_| TarError::BadUtf8)?;
+                self.pending_longname = Some(name.to_string());
+                continue;
+            }
+
+            let path = match self.pending_longname.take() {
+                Some(p) => p,
+                None => {
+                    let name = c_string(&header[0..100])?;
+                    let prefix = c_string(&header[345..500])?;
+                    if prefix.is_empty() {
+                        name
+                    } else {
+                        format!("{prefix}/{name}")
+                    }
+                }
+            };
+
+            let kind = match typeflag {
+                b'0' | 0 | b'7' => EntryKind::File(payload.to_vec()),
+                b'5' => EntryKind::Dir,
+                b'2' => EntryKind::Symlink(c_string(&header[157..257])?),
+                b'1' => EntryKind::Hardlink(c_string(&header[157..257])?),
+                // PAX metadata records ('x'/'g') carry attributes we do not
+                // model; skip them (their payload was already consumed).
+                b'x' | b'g' => continue,
+                t => return Err(TarError::UnsupportedType(t)),
+            };
+            return Ok(Some(TarEntry { path, kind, mode, uid, gid, mtime }));
+        }
+    }
+}
+
+impl<'a> Iterator for Reader<'a> {
+    type Item = Result<TarEntry, TarError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_entry() {
+            Ok(Some(e)) => Some(Ok(e)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn c_string(field: &[u8]) -> Result<String, TarError> {
+    let end = field.iter().position(|&b| b == 0).unwrap_or(field.len());
+    std::str::from_utf8(&field[..end]).map(|s| s.to_string()).map_err(|_| TarError::BadUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write_archive;
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let mut bytes = write_archive(&[TarEntry::file("f", b"x".to_vec())]);
+        bytes[0] ^= 0xff;
+        let err = Reader::new(&bytes).collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert_eq!(err, TarError::BadChecksum);
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let bytes = write_archive(&[TarEntry::file("f", vec![7; 5000])]);
+        let err = Reader::new(&bytes[..BLOCK_SIZE + 512]).collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert_eq!(err, TarError::Truncated);
+    }
+
+    #[test]
+    fn missing_terminator_tolerated() {
+        let full = write_archive(&[TarEntry::file("f", b"data".to_vec())]);
+        // Strip the two zero blocks.
+        let trimmed = &full[..full.len() - 2 * BLOCK_SIZE];
+        let entries = Reader::new(trimmed).collect::<Result<Vec<_>, _>>().unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn iterator_stops_after_error() {
+        let mut bytes = write_archive(&[
+            TarEntry::file("a", b"1".to_vec()),
+            TarEntry::file("b", b"2".to_vec()),
+        ]);
+        bytes[0] ^= 0xff;
+        let results: Vec<_> = Reader::new(&bytes).collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn old_style_type_zero_byte() {
+        // Pre-POSIX archives use NUL as the regular-file typeflag.
+        let mut bytes = write_archive(&[TarEntry::file("f", b"old".to_vec())]);
+        bytes[156] = 0;
+        // Fix checksum for the patched byte.
+        let mut header = [0u8; BLOCK_SIZE];
+        header.copy_from_slice(&bytes[..BLOCK_SIZE]);
+        let sum = checksum(&header);
+        bytes[148..156].copy_from_slice(format!("{:06o}\0 ", sum).as_bytes());
+        let entries = Reader::new(&bytes).collect::<Result<Vec<_>, _>>().unwrap();
+        assert!(entries[0].is_file());
+        assert_eq!(entries[0].data(), b"old");
+    }
+}

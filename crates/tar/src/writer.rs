@@ -1,0 +1,154 @@
+//! In-memory tar archive writer.
+
+use crate::header::{checksum, write_octal, EntryKind, TarEntry, BLOCK_SIZE};
+
+/// ustar magic + version ("ustar\0" + "00").
+const USTAR_MAGIC: &[u8; 8] = b"ustar\x0000";
+
+/// Builds a tar archive in memory.
+#[derive(Default)]
+pub struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one entry (header, long-name record if needed, payload).
+    pub fn append(&mut self, entry: &TarEntry) {
+        // Paths that fit neither the 100-byte name field nor the ustar
+        // name/prefix split get a GNU 'L' long-name record first.
+        let (name, prefix) = match split_path(&entry.path) {
+            Some(np) => np,
+            None => {
+                self.append_gnu_longname(&entry.path);
+                let truncated: String = entry.path.chars().take(100).collect();
+                (truncated, String::new())
+            }
+        };
+        let mut header = [0u8; BLOCK_SIZE];
+        header[0..name.len()].copy_from_slice(name.as_bytes());
+        write_octal(&mut header[100..108], entry.mode as u64);
+        write_octal(&mut header[108..116], entry.uid as u64);
+        write_octal(&mut header[116..124], entry.gid as u64);
+        write_octal(&mut header[124..136], entry.payload_len() as u64);
+        write_octal(&mut header[136..148], entry.mtime);
+        let (typeflag, link): (u8, &str) = match &entry.kind {
+            EntryKind::File(_) => (b'0', ""),
+            EntryKind::Dir => (b'5', ""),
+            EntryKind::Symlink(t) => (b'2', t),
+            EntryKind::Hardlink(t) => (b'1', t),
+        };
+        header[156] = typeflag;
+        let link_bytes = link.as_bytes();
+        let link_len = link_bytes.len().min(100);
+        header[157..157 + link_len].copy_from_slice(&link_bytes[..link_len]);
+        header[257..265].copy_from_slice(USTAR_MAGIC);
+        header[265..265 + 4].copy_from_slice(b"root");
+        header[297..297 + 4].copy_from_slice(b"root");
+        header[345..345 + prefix.len()].copy_from_slice(prefix.as_bytes());
+        let sum = checksum(&header);
+        let chk = format!("{:06o}\0 ", sum);
+        header[148..156].copy_from_slice(chk.as_bytes());
+
+        self.out.extend_from_slice(&header);
+        let data = entry.data();
+        self.out.extend_from_slice(data);
+        let pad = (BLOCK_SIZE - data.len() % BLOCK_SIZE) % BLOCK_SIZE;
+        self.out.extend(std::iter::repeat_n(0u8, pad));
+    }
+
+    /// Emits a GNU 'L' record carrying the full path as payload.
+    fn append_gnu_longname(&mut self, path: &str) {
+        let mut payload = path.as_bytes().to_vec();
+        payload.push(0);
+        let rec = TarEntry {
+            path: "././@LongLink".to_string(),
+            kind: EntryKind::File(payload),
+            mode: 0,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+        };
+        // Write the record with typeflag 'L' by patching the header we just
+        // produced through the normal path.
+        let start = self.out.len();
+        self.append(&rec);
+        self.out[start + 156] = b'L';
+        // Re-checksum after the patch.
+        let mut header = [0u8; BLOCK_SIZE];
+        header.copy_from_slice(&self.out[start..start + BLOCK_SIZE]);
+        let sum = checksum(&header);
+        let chk = format!("{:06o}\0 ", sum);
+        self.out[start + 148..start + 156].copy_from_slice(chk.as_bytes());
+    }
+
+    /// Bytes written so far (without the terminator).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when no entry has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Finishes the archive with two zero blocks and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.out.extend(std::iter::repeat_n(0u8, 2 * BLOCK_SIZE));
+        self.out
+    }
+}
+
+/// Splits a path into (name ≤ 100, prefix ≤ 155) per ustar rules, or `None`
+/// if it cannot be represented.
+fn split_path(path: &str) -> Option<(String, String)> {
+    if path.len() <= 100 {
+        return Some((path.to_string(), String::new()));
+    }
+    if path.len() > 255 {
+        return None;
+    }
+    // Find a '/' such that prefix ≤ 155 and the remainder ≤ 100.
+    for (i, b) in path.bytes().enumerate().rev() {
+        if b == b'/' && i <= 155 && path.len() - i - 1 <= 100 && path.len() - i - 1 > 0 {
+            return Some((path[i + 1..].to_string(), path[..i].to_string()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_short_path() {
+        assert_eq!(split_path("etc/passwd"), Some(("etc/passwd".into(), String::new())));
+    }
+
+    #[test]
+    fn split_long_path() {
+        let p = format!("{}/tail", "a".repeat(120));
+        let (name, prefix) = split_path(&p).unwrap();
+        assert_eq!(name, "tail");
+        assert_eq!(prefix, "a".repeat(120));
+    }
+
+    #[test]
+    fn split_unsplittable() {
+        // A 200-byte single component cannot use the prefix trick.
+        assert_eq!(split_path(&"x".repeat(200)), None);
+        assert!(split_path(&"y".repeat(300)).is_none());
+    }
+
+    #[test]
+    fn header_is_one_block_per_small_file() {
+        let mut w = Writer::new();
+        w.append(&TarEntry::file("f", vec![]));
+        assert_eq!(w.len(), BLOCK_SIZE);
+    }
+}

@@ -1,0 +1,243 @@
+//! Calibration tests: every scale-invariant anchor from EXPERIMENTS.md is
+//! asserted within a tolerance band at a pinned seed.
+//!
+//! Size-valued anchors use the default `size_scale` (1/256) and moderate
+//! repo counts so the suite stays fast; the bands are deliberately wide —
+//! these tests guard the *shape* of each distribution (who dominates, where
+//! medians sit, which group dedups worst), not decimal places.
+
+use dhub_study::figures;
+use dhub_study::pipeline::{run_study, StudyData};
+use dhub_study::FigureReport;
+use dhub_synth::{generate_hub, SynthConfig};
+use std::sync::OnceLock;
+
+fn data() -> &'static StudyData {
+    static DATA: OnceLock<StudyData> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let cfg = SynthConfig::default_scale(20170530).with_repos(180);
+        let hub = generate_hub(&cfg);
+        run_study(&hub, dhub_par::default_threads())
+    })
+}
+
+/// Asserts `measured/paper` lies within `[lo, hi]` for the named anchor.
+fn assert_anchor_band(fig: &FigureReport, name_contains: &str, lo: f64, hi: f64) {
+    let a = fig
+        .anchors
+        .iter()
+        .find(|a| a.name.contains(name_contains))
+        .unwrap_or_else(|| panic!("{}: no anchor containing {name_contains:?}", fig.id));
+    let ratio = a.ratio();
+    assert!(
+        (lo..=hi).contains(&ratio),
+        "{} anchor {:?}: paper {} measured {} ratio {:.3} outside [{lo}, {hi}]",
+        fig.id,
+        a.name,
+        a.paper,
+        a.measured,
+        ratio
+    );
+}
+
+#[test]
+fn table1_population_anchors() {
+    let f = figures::table1(data());
+    assert_anchor_band(&f, "search duplication", 0.9, 1.1);
+    assert_anchor_band(&f, "downloaded fraction", 0.9, 1.1);
+    assert_anchor_band(&f, "auth share of failures", 0.5, 1.8);
+}
+
+#[test]
+fn fig04_compression_ratio_anchors() {
+    let f = figures::fig04(data());
+    // Median layer ratio: paper 2.6. At size_scale 1/128 the per-file tar
+    // framing (1 KiB of header+padding per file, which size_scale cannot
+    // shrink) biases FLS/CLS down; `fig04_ratio_recovers_at_paper_scale`
+    // below shows the codec produces paper-like ratios at real file sizes.
+    assert_anchor_band(&f, "median compression", 0.3, 2.0);
+    assert_anchor_band(&f, "p90 compression", 0.3, 2.5);
+}
+
+/// At paper-scale file sizes (size_scale = 1) the tar-framing overhead is
+/// negligible and layer compression ratios land in the paper's regime.
+#[test]
+fn fig04_ratio_recovers_at_paper_scale() {
+    use dhub_synth::layergen::build_app_layer;
+    use dhub_synth::pool::FilePool;
+    let mut cfg = SynthConfig::default_scale(99).with_repos(50);
+    cfg.size_scale = 1;
+    let pool = FilePool::build(&cfg, 60_000);
+    let mut ratios: Vec<f64> = (0..12u64)
+        .map(|i| {
+            let l = build_app_layer(&pool, 0xF1604 + i);
+            if l.fls == 0 {
+                return f64::NAN;
+            }
+            l.fls as f64 / l.blob.len() as f64
+        })
+        .filter(|r| r.is_finite())
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert!(!ratios.is_empty());
+    let median = ratios[ratios.len() / 2];
+    assert!(
+        (1.3..6.0).contains(&median),
+        "paper-scale median ratio {median} (paper: 2.6); all {ratios:?}"
+    );
+}
+
+#[test]
+fn fig05_file_count_anchors() {
+    let f = figures::fig05(data());
+    assert_anchor_band(&f, "median files", 0.4, 2.5);
+    assert_anchor_band(&f, "single-file layers", 0.6, 1.5);
+    assert_anchor_band(&f, "empty layers", 0.5, 2.0);
+}
+
+#[test]
+fn fig07_depth_anchors() {
+    let f = figures::fig07(data());
+    assert_anchor_band(&f, "median max depth", 0.5, 2.0);
+    assert_anchor_band(&f, "modal depth", 0.6, 1.7);
+}
+
+#[test]
+fn fig08_popularity_anchors() {
+    let f = figures::fig08(data());
+    assert_anchor_band(&f, "median pulls", 0.5, 2.0);
+    assert_anchor_band(&f, "p90 pulls", 0.5, 2.0);
+    assert_anchor_band(&f, "max pulls", 0.99, 1.01);
+}
+
+#[test]
+fn fig10_layer_count_anchors() {
+    let f = figures::fig10(data());
+    assert_anchor_band(&f, "median layers", 0.75, 1.4);
+    assert_anchor_band(&f, "p90 layers", 0.7, 1.5);
+    assert_anchor_band(&f, "modal layer count", 0.7, 1.4);
+    assert_anchor_band(&f, "single-layer image", 0.4, 2.5);
+}
+
+#[test]
+fn fig14_type_mix_anchors() {
+    let f = figures::fig14(data());
+    assert_anchor_band(&f, "documents count share", 0.8, 1.25);
+    assert_anchor_band(&f, "source count share", 0.8, 1.25);
+    assert_anchor_band(&f, "EOL count share", 0.8, 1.25);
+    assert_anchor_band(&f, "scripts count share", 0.8, 1.25);
+    assert_anchor_band(&f, "EOL capacity share", 0.6, 1.6);
+    assert_anchor_band(&f, "archival capacity share", 0.6, 1.6);
+}
+
+#[test]
+fn fig16_eol_anchors() {
+    let f = figures::fig16(data());
+    assert_anchor_band(&f, "ELF count share", 0.8, 1.3);
+    assert_anchor_band(&f, "IR count share", 0.8, 1.3);
+    assert_anchor_band(&f, "ELF capacity share", 0.8, 1.2);
+}
+
+#[test]
+fn fig17_source_anchors() {
+    let f = figures::fig17(data());
+    assert_anchor_band(&f, "C/C++ count share", 0.9, 1.15);
+    assert_anchor_band(&f, "Perl5 count share", 0.7, 1.4);
+    assert_anchor_band(&f, "Ruby count share", 0.7, 1.4);
+}
+
+#[test]
+fn fig18_script_anchors() {
+    let f = figures::fig18(data());
+    assert_anchor_band(&f, "Python count share", 0.85, 1.2);
+    assert_anchor_band(&f, "shell count share", 0.8, 1.3);
+}
+
+#[test]
+fn fig20_archival_anchors() {
+    let f = figures::fig20(data());
+    assert_anchor_band(&f, "zip/gzip count share", 0.95, 1.05);
+    assert_anchor_band(&f, "avg zip/gzip size", 0.4, 2.5);
+}
+
+#[test]
+fn fig21_database_anchors() {
+    let f = figures::fig21(data());
+    assert_anchor_band(&f, "BerkeleyDB count share", 0.7, 1.5);
+    assert_anchor_band(&f, "MySQL count share", 0.7, 1.5);
+    // SQLite: few files, most capacity — the paper's defining DB trait.
+    assert_anchor_band(&f, "SQLite capacity share", 0.5, 1.8);
+}
+
+#[test]
+fn fig22_imagefile_anchors() {
+    let f = figures::fig22(data());
+    assert_anchor_band(&f, "PNG count share", 0.85, 1.2);
+}
+
+#[test]
+fn fig23_layer_sharing_anchors() {
+    let f = figures::fig23(data());
+    assert_anchor_band(&f, "fraction referenced once", 0.85, 1.12);
+    assert_anchor_band(&f, "top layer is the empty layer", 1.0, 1.0);
+    assert_anchor_band(&f, "layer-sharing dedup factor", 0.6, 1.8);
+}
+
+#[test]
+fn fig24_repeat_anchors() {
+    let f = figures::fig24(data());
+    assert_anchor_band(&f, ">1 copy", 0.85, 1.1);
+    assert_anchor_band(&f, "median copies", 0.3, 3.0);
+    assert_anchor_band(&f, "p90 copies", 0.3, 3.0);
+    assert_anchor_band(&f, "most-repeated file is empty", 1.0, 1.0);
+}
+
+#[test]
+fn fig25_growth_is_monotone() {
+    let f = figures::fig25(data());
+    // The growth factor must be materially above 1 (the figure's message).
+    let g = f.anchors.iter().find(|a| a.name.contains("growth")).unwrap();
+    assert!(g.measured > 1.3, "growth {}", g.measured);
+}
+
+#[test]
+fn fig26_cross_duplicate_anchors() {
+    let f = figures::fig26(data());
+    assert_anchor_band(&f, "p10 layer duplicate", 0.75, 1.05);
+    assert_anchor_band(&f, "p10 image duplicate", 0.8, 1.05);
+}
+
+#[test]
+fn fig27_group_dedup_ordering() {
+    let f = figures::fig27(data());
+    let get = |label: &str| {
+        f.anchors.iter().find(|a| a.name.starts_with(label)).map(|a| a.measured).unwrap()
+    };
+    // The ordering the paper reports: scripts/source highest, DB lowest.
+    assert!(get("Scr.") > get("EOL"));
+    assert!(get("SC.") > get("EOL"));
+    assert!(get("DB.") < get("Doc."));
+    assert_anchor_band(&f, "overall capacity redundancy", 0.7, 1.2);
+}
+
+#[test]
+fn fig28_eol_dedup_ordering() {
+    let f = figures::fig28(data());
+    let get = |label: &str| {
+        f.anchors.iter().find(|a| a.name.starts_with(label)).map(|a| a.measured).unwrap()
+    };
+    assert!(get("Lib.") < get("ELF"), "libraries must dedup worst");
+    assert!(get("COFF") < get("ELF"));
+}
+
+#[test]
+fn table2_headline_direction() {
+    let f = figures::table2(data());
+    // At 220 repos we sit on the left part of the Fig. 25 growth curve; the
+    // count ratio must already be well above 1 and below the full-scale 31.5.
+    let count = f.anchors.iter().find(|a| a.name.contains("count dedup")).unwrap();
+    assert!(count.measured > 3.0, "count dedup {}", count.measured);
+    let cap = f.anchors.iter().find(|a| a.name.contains("capacity dedup")).unwrap();
+    assert!(cap.measured > 1.5, "capacity dedup {}", cap.measured);
+    assert!(count.measured > cap.measured, "count dedup exceeds capacity dedup, as in the paper");
+}

@@ -1,0 +1,57 @@
+//! End-to-end over the wire: the same study, but with every manifest and
+//! layer fetched through the Registry V2 HTTP server on localhost —
+//! verifying the whole measurement stack against the paper's actual
+//! transport protocol.
+
+use dhub_downloader::{download_all, download_all_http};
+use dhub_registry::{NetworkModel, RegistryServer};
+use dhub_synth::{generate_hub, SynthConfig};
+
+#[test]
+fn http_transport_study_matches_in_process() {
+    let hub = generate_hub(&SynthConfig::tiny(61).with_repos(50));
+    let server = RegistryServer::start(hub.registry.clone()).unwrap();
+
+    // Crawl via the search front-end, as always.
+    let officials: Vec<_> =
+        hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
+    let crawl = dhub_crawler::crawl(&hub.search, &officials);
+
+    // Download both ways.
+    let via_http = download_all_http(server.addr(), &crawl.repos, 4);
+    let in_proc = download_all(&hub.registry, &crawl.repos, 4, &NetworkModel::datacenter());
+
+    assert_eq!(via_http.report.images_downloaded, in_proc.report.images_downloaded);
+    assert_eq!(via_http.report.failed_auth, in_proc.report.failed_auth);
+    assert_eq!(via_http.report.failed_no_latest, in_proc.report.failed_no_latest);
+    assert_eq!(via_http.report.unique_layers, in_proc.report.unique_layers);
+    assert_eq!(via_http.report.bytes_fetched, in_proc.report.bytes_fetched);
+
+    // Analyze the HTTP-fetched layers; dedup headline must be identical.
+    let a_http = dhub_analyzer::analyze_all(&via_http.layers, 4);
+    let a_proc = dhub_analyzer::analyze_all(&in_proc.layers, 4);
+    assert_eq!(a_http.errors.len(), 0);
+    assert_eq!(a_http.layers.len(), a_proc.layers.len());
+
+    let sh: Vec<_> = dhub_dedup::profile_slice(&a_http.layers);
+    let sp: Vec<_> = dhub_dedup::profile_slice(&a_proc.layers);
+    let dh = dhub_dedup::file_dedup(&sh, 2);
+    let dp = dhub_dedup::file_dedup(&sp, 2);
+    assert_eq!(dh.total_instances, dp.total_instances);
+    assert_eq!(dh.unique_files, dp.unique_files);
+    assert_eq!(dh.total_bytes, dp.total_bytes);
+
+    server.shutdown();
+}
+
+#[test]
+fn http_study_counts_pulls() {
+    let hub = generate_hub(&SynthConfig::tiny(62).with_repos(30));
+    let server = RegistryServer::start(hub.registry.clone()).unwrap();
+    let repo = hub.truth.ok_repos[0].clone();
+    let before = hub.registry.pull_count(&repo).unwrap();
+    let _ = download_all_http(server.addr(), std::slice::from_ref(&repo), 1);
+    let after = hub.registry.pull_count(&repo).unwrap();
+    assert_eq!(after, before + 1, "HTTP pulls must hit the same counters");
+    server.shutdown();
+}
