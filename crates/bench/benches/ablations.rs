@@ -6,7 +6,7 @@
 //!   pull-latency model sweep,
 //! * LRU caching driven by the measured popularity skew (§IV-B).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dhub_bench::{criterion_group, criterion_main, Criterion};
 use dhub_analyzer::analyze_layer;
 use dhub_model::Digest;
 use dhub_par::sharded::CoarseMap;
@@ -163,7 +163,7 @@ fn bench_dedupstore(c: &mut Criterion) {
     let total_bytes: u64 = ls.iter().map(|(_, b)| b.len() as u64).sum();
     let mut g = c.benchmark_group("dedupstore");
     g.sample_size(10);
-    g.throughput(criterion::Throughput::Bytes(total_bytes));
+    g.throughput(dhub_bench::Throughput::Bytes(total_bytes));
     g.bench_function("bench_dedupstore_ingest", |b| {
         b.iter(|| {
             let store = DedupStore::new();

@@ -7,7 +7,7 @@
 //! analyses and emits the full paper-vs-measured report that EXPERIMENTS.md
 //! is built from.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dhub_bench::{criterion_group, criterion_main, Criterion};
 use dhub_study::figures;
 use dhub_study::pipeline::{run_study, StudyData};
 use dhub_study::FigureReport;

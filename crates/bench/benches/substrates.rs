@@ -1,7 +1,7 @@
 //! Substrate micro-benchmarks: the from-scratch building blocks whose
 //! throughput bounds the pipeline (sha256, DEFLATE, tar, parallel map).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dhub_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use dhub_compress::{deflate, gzip_compress, gzip_decompress, inflate, CompressOptions};
 use dhub_digest::{crc32, sha256};
 use dhub_model::FileKind;

@@ -1,5 +1,7 @@
 //! Property tests for cache policies.
 
+#![cfg(feature = "proptest")]
+
 use dhub_cache::{CachePolicy, Fifo, GreedyDualSizeFrequency, Lfu, Lru};
 use proptest::prelude::*;
 

@@ -1,5 +1,7 @@
 //! Property and interoperability tests for the DEFLATE/gzip codec.
 
+#![cfg(feature = "proptest")]
+
 use dhub_compress::{deflate, gzip_compress, gzip_decompress, inflate, CompressOptions};
 use proptest::prelude::*;
 

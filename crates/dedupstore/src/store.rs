@@ -5,7 +5,7 @@ use dhub_compress::{gzip_compress, gzip_decompress, CompressOptions};
 use dhub_digest::FxHashMap;
 use dhub_model::Digest;
 use dhub_tar::{read_archive, EntryKind, TarEntry, Writer};
-use parking_lot::RwLock;
+use dhub_sync::RwLock;
 use std::sync::Arc;
 
 /// Errors from store operations.

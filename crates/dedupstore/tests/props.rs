@@ -1,6 +1,8 @@
 //! Property tests: any layer our tar/gzip stack can produce survives a
 //! round-trip through the dedup store byte-identically.
 
+#![cfg(feature = "proptest")]
+
 use dhub_compress::{gzip_compress, CompressOptions};
 use dhub_dedupstore::DedupStore;
 use dhub_model::Digest;

@@ -1,5 +1,7 @@
 //! Property tests for the hashing primitives.
 
+#![cfg(feature = "proptest")]
+
 use dhub_digest::{crc32, sha256, Crc32, Sha256};
 use proptest::prelude::*;
 

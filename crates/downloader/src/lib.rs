@@ -12,7 +12,7 @@
 use dhub_model::{Digest, Manifest, RepoName};
 use dhub_par::ShardedMap;
 use dhub_registry::{ApiError, NetworkModel, Registry};
-use parking_lot::Mutex;
+use dhub_sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

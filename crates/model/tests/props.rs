@@ -1,5 +1,7 @@
 //! Property tests for the shared data model.
 
+#![cfg(feature = "proptest")]
+
 use dhub_model::{Digest, LayerRef, Manifest, RepoName};
 use proptest::prelude::*;
 

@@ -3,8 +3,9 @@
 //! The paper's pipeline is embarrassingly parallel at two grains: images
 //! are downloaded/analyzed independently, and dedup counting aggregates
 //! billions of per-file records. This crate provides exactly the three
-//! primitives that workload needs, built on `crossbeam` channels and
-//! `parking_lot` locks per the workspace guides:
+//! primitives that workload needs, built on the in-repo `dhub-sync`
+//! substrate (channels, scoped work crews, striped locks) so the default
+//! workspace build has zero external dependencies:
 //!
 //! * [`par_map`]/[`par_for_each`] — data-parallel iteration over slices
 //!   with dynamic chunk self-scheduling (scoped threads, no `'static`
@@ -55,27 +56,22 @@ where
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let out_ptr = SendPtr(out.as_mut_ptr());
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                // Rebind to force a by-copy capture of the raw pointer
-                // (a `move` closure would try to move the shared counter).
-                #[allow(clippy::redundant_locals)]
-                let out_ptr = out_ptr;
-                loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + chunk).min(n);
-                    for (i, item) in items[start..end].iter().enumerate() {
-                        let r = f(item);
-                        // Safe: each index is written by exactly one worker
-                        // (disjoint chunks), and the Vec outlives the scope.
-                        unsafe { *out_ptr.0.add(start + i) = Some(r) };
-                    }
-                }
-            });
+    dhub_sync::work_crew(threads, |_| {
+        // Rebind to capture the whole wrapper (not the raw-pointer field,
+        // which edition-2021 disjoint capture would otherwise grab).
+        let out_ptr = out_ptr;
+        loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            for (i, item) in items[start..end].iter().enumerate() {
+                let r = f(item);
+                // Safe: each index is written by exactly one worker
+                // (disjoint chunks), and the Vec outlives the crew's scope.
+                unsafe { *out_ptr.0.add(start + i) = Some(r) };
+            }
         }
     });
     out.into_iter().map(|r| r.expect("all indices written")).collect()

@@ -6,7 +6,7 @@
 //! fast producer cannot buffer an unbounded amount of layer data in memory
 //! — at paper scale that would be tens of terabytes.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use dhub_sync::{bounded, Receiver, Sender};
 
 /// Spawns a pipeline stage: `workers` threads each pull items from `input`,
 /// apply `f`, and push results downstream. Returns the output receiver.

@@ -1,10 +1,10 @@
 //! A small thread pool for fire-and-forget jobs.
 //!
 //! The downloader uses this for its long-lived worker crew: jobs are
-//! `'static` closures pushed through an unbounded crossbeam channel;
+//! `'static` closures pushed through an unbounded `dhub-sync` channel;
 //! dropping the pool closes the channel and joins every worker.
 
-use crossbeam::channel::{unbounded, Sender};
+use dhub_sync::{unbounded, Sender};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;

@@ -6,7 +6,7 @@
 //! space across shards lets updates proceed in parallel with conflicts only
 //! on same-shard keys. `bench_sharded` quantifies the difference.
 
-use parking_lot::Mutex;
+use dhub_sync::{Mutex, Striped};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 
@@ -34,31 +34,27 @@ impl Hasher for ShardHasher {
     }
 }
 
-type Shard<K, V> = Mutex<HashMap<K, V, BuildHasherDefault<ShardHasher>>>;
+type Shard<K, V> = HashMap<K, V, BuildHasherDefault<ShardHasher>>;
 
-/// A hash map striped over `2^k` shards, each behind its own mutex.
+/// A hash map striped over `2^k` shards, each behind its own cache-padded
+/// mutex ([`dhub_sync::Striped`] does the stripe selection and padding).
 pub struct ShardedMap<K, V> {
-    shards: Vec<Shard<K, V>>,
-    mask: u64,
+    shards: Striped<Shard<K, V>>,
 }
 
 impl<K: Hash + Eq, V> ShardedMap<K, V> {
     /// Creates a map with `shards` stripes (rounded up to a power of two).
     pub fn new(shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
-        ShardedMap {
-            shards: (0..n).map(|_| Mutex::new(HashMap::default())).collect(),
-            mask: n as u64 - 1,
-        }
+        ShardedMap { shards: Striped::new(shards, HashMap::default) }
     }
 
     #[inline]
-    fn shard_for(&self, key: &K) -> &Shard<K, V> {
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
         let mut h = ShardHasher::default();
         key.hash(&mut h);
-        // Use the high bits for shard selection so the map's in-shard
+        // Striped selects by the hash's high bits so the map's in-shard
         // bucketing (low bits) stays decorrelated.
-        &self.shards[((h.finish() >> 48) & self.mask) as usize]
+        self.shards.stripe(h.finish())
     }
 
     /// Applies `f` to the value for `key`, inserting `V::default()` first if
@@ -101,14 +97,14 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shards.stripe_count()
     }
 
     /// Consumes the map, yielding all entries.
     pub fn into_entries(self) -> Vec<(K, V)> {
         let mut out = Vec::new();
-        for shard in self.shards {
-            out.extend(shard.into_inner());
+        for shard in self.shards.into_values() {
+            out.extend(shard);
         }
         out
     }
@@ -116,7 +112,7 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     /// Folds every entry into an accumulator (takes each lock briefly).
     pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &K, &V) -> A) -> A {
         let mut acc = init;
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let guard = shard.lock();
             for (k, v) in guard.iter() {
                 acc = f(acc, k, v);
@@ -215,7 +211,7 @@ mod tests {
             map.insert(i, ());
         }
         let mut used = 0;
-        for s in &map.shards {
+        for s in map.shards.iter() {
             if !s.lock().is_empty() {
                 used += 1;
             }

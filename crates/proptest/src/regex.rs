@@ -1,0 +1,280 @@
+//! Generator for the character-class regex subset used as string
+//! strategies: literals, `[...]` classes (ranges, escapes, negation-free),
+//! `(...)` groups, `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers, and `\PC`
+//! ("any printable character").
+
+use crate::rng::TestRng;
+
+/// One parsed atom.
+enum Node {
+    Literal(char),
+    /// Inclusive codepoint ranges.
+    Class(Vec<(char, char)>),
+    Group(Vec<Quantified>),
+    /// `\PC` — any non-control character.
+    AnyPrintable,
+}
+
+/// An atom plus its repetition bounds (inclusive).
+struct Quantified {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled pattern.
+pub struct Pattern {
+    nodes: Vec<Quantified>,
+}
+
+/// Codepoint ranges `\PC` draws from: printable ASCII, Latin-1/Extended,
+/// some Kana and CJK so multi-byte UTF-8 paths get exercised.
+const PRINTABLE: &[(char, char)] = &[
+    (' ', '~'),
+    ('\u{A1}', '\u{17F}'),
+    ('\u{3041}', '\u{30FE}'),
+    ('\u{4E00}', '\u{4EFF}'),
+];
+
+impl Pattern {
+    /// Parses `pattern`, panicking on syntax outside the supported subset
+    /// (a test-authoring error, not an input condition).
+    pub fn compile(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (nodes, consumed) = parse_sequence(&chars, 0, None);
+        assert_eq!(consumed, chars.len(), "unbalanced pattern: {pattern:?}");
+        Pattern { nodes }
+    }
+
+    /// Draws one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate_seq(&self.nodes, rng, &mut out);
+        out
+    }
+}
+
+fn generate_seq(nodes: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in nodes {
+        let count = q.min + rng.below((q.max - q.min + 1) as u64) as u32;
+        for _ in 0..count {
+            match &q.node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => out.push(pick_char(ranges, rng)),
+                Node::AnyPrintable => out.push(pick_char(PRINTABLE, rng)),
+                Node::Group(inner) => generate_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+fn pick_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+    let mut pick = rng.below(total);
+    for &(lo, hi) in ranges {
+        let span = hi as u64 - lo as u64 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick as u32).expect("range within valid chars");
+        }
+        pick -= span;
+    }
+    unreachable!("spans summed")
+}
+
+/// Parses atoms until end-of-input or the closing delimiter; returns the
+/// nodes and the index just past what was consumed (including the closer).
+fn parse_sequence(chars: &[char], mut i: usize, closer: Option<char>) -> (Vec<Quantified>, usize) {
+    let mut nodes = Vec::new();
+    while i < chars.len() {
+        if Some(chars[i]) == closer {
+            return (nodes, i + 1);
+        }
+        let (node, next) = parse_atom(chars, i);
+        let (min, max, next) = parse_quantifier(chars, next);
+        nodes.push(Quantified { node, min, max });
+        i = next;
+    }
+    assert!(closer.is_none(), "missing closing {closer:?}");
+    (nodes, i)
+}
+
+fn parse_atom(chars: &[char], i: usize) -> (Node, usize) {
+    match chars[i] {
+        '[' => parse_class(chars, i + 1),
+        '(' => {
+            let (inner, next) = parse_sequence(chars, i + 1, Some(')'));
+            (Node::Group(inner), next)
+        }
+        // A ')' here was not consumed by any group's closer check.
+        ')' => panic!("unbalanced pattern: unmatched ')'"),
+        '\\' => {
+            let c = *chars.get(i + 1).expect("dangling escape");
+            match c {
+                'P' | 'p' => {
+                    // Only the category used in practice: `\PC` / `\pC`
+                    // complement-of-control, i.e. printable.
+                    assert_eq!(chars.get(i + 2), Some(&'C'), "unsupported category escape");
+                    (Node::AnyPrintable, i + 3)
+                }
+                _ => (Node::Literal(unescape(c)), i + 2),
+            }
+        }
+        c => (Node::Literal(c), i + 1),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Node, usize) {
+    let mut ranges = Vec::new();
+    while chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 2;
+            unescape(chars[i - 1])
+        } else {
+            i += 1;
+            chars[i - 1]
+        };
+        // `x-y` is a range unless the `-` is last in the class.
+        if chars[i] == '-' && chars[i + 1] != ']' {
+            let hi = if chars[i + 1] == '\\' {
+                i += 3;
+                unescape(chars[i - 1])
+            } else {
+                i += 2;
+                chars[i - 1]
+            };
+            assert!(lo <= hi, "inverted class range {lo:?}-{hi:?}");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class");
+    (Node::Class(ranges), i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (u32, u32, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('{') => {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed {quantifier}") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min = lo.trim().parse().expect("bad {m,n} quantifier");
+                    let max = if hi.trim().is_empty() {
+                        min + 8
+                    } else {
+                        hi.trim().parse().expect("bad {m,n} quantifier")
+                    };
+                    (min, max)
+                }
+            };
+            assert!(min <= max, "inverted quantifier {body:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        Pattern::compile(pattern).generate(&mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for seed in 0..200 {
+            let s = gen("[a-z]{1,12}", seed);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        for seed in 0..200 {
+            let s = gen("[a-z][a-z0-9]{0,14}", seed);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.len() <= 15);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn groups_with_repetition() {
+        for seed in 0..200 {
+            let s = gen("[a-z]{1,8}(/[a-z0-9._-]{1,10}){0,3}", seed);
+            let segments: Vec<&str> = s.split('/').collect();
+            assert!((1..=4).contains(&segments.len()), "{s:?}");
+            assert!(!segments[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn class_trailing_dash_is_literal() {
+        let mut saw_dash = false;
+        for seed in 0..500 {
+            let s = gen("[a-c-]{1}", seed);
+            let c = s.chars().next().unwrap();
+            assert!(matches!(c, 'a'..='c' | '-'), "{c:?}");
+            saw_dash |= c == '-';
+        }
+        assert!(saw_dash, "literal dash never generated");
+    }
+
+    #[test]
+    fn escapes_and_unicode_in_class() {
+        // The exact class dhub-json's property tests use.
+        let p = "[a-zA-Z0-9 /_.:\\\\\"\n\t\u{e9}\u{4e2d}-]{0,32}";
+        let allowed: Vec<char> = "\\\" \n\t/_.:-\u{e9}\u{4e2d}".chars().collect();
+        for seed in 0..300 {
+            for c in gen(p, seed).chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || allowed.contains(&c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_category() {
+        for seed in 0..300 {
+            let s = gen("\\PC{0,200}", seed);
+            assert!(s.len() <= 800, "bytes bounded by 4x char count");
+            assert!(s.chars().all(|c| !c.is_control()), "control char leaked");
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        for seed in 0..50 {
+            assert_eq!(gen("[0-9]{4}", seed).len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_pattern_rejected() {
+        Pattern::compile("[a-z])");
+    }
+}

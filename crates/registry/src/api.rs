@@ -8,7 +8,7 @@
 
 use crate::blobstore::BlobStore;
 use dhub_model::{Digest, Manifest, RepoName};
-use parking_lot::RwLock;
+use dhub_sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

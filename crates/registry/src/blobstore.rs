@@ -6,7 +6,7 @@
 //! allocation.
 
 use dhub_model::Digest;
-use parking_lot::RwLock;
+use dhub_sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -8,7 +8,7 @@
 //! real filesystems.
 
 use dhub_model::Digest;
-use parking_lot::Mutex;
+use dhub_sync::Mutex;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 

@@ -52,7 +52,7 @@ impl From<WireError> for ClientError {
 pub struct RemoteRegistry {
     addr: SocketAddr,
     /// Cached bearer token from a previous challenge.
-    token: parking_lot::Mutex<Option<String>>,
+    token: dhub_sync::Mutex<Option<String>>,
     /// Whether to attempt the token dance on 401 (the study's anonymous
     /// downloader does not hold credentials; `docker login` users do).
     pub use_token_auth: bool,
@@ -61,12 +61,12 @@ pub struct RemoteRegistry {
 impl RemoteRegistry {
     /// Creates a client for `addr` that performs the token dance.
     pub fn connect(addr: SocketAddr) -> RemoteRegistry {
-        RemoteRegistry { addr, token: parking_lot::Mutex::new(None), use_token_auth: true }
+        RemoteRegistry { addr, token: dhub_sync::Mutex::new(None), use_token_auth: true }
     }
 
     /// Creates an anonymous client (no token dance — the study's stance).
     pub fn connect_anonymous(addr: SocketAddr) -> RemoteRegistry {
-        RemoteRegistry { addr, token: parking_lot::Mutex::new(None), use_token_auth: false }
+        RemoteRegistry { addr, token: dhub_sync::Mutex::new(None), use_token_auth: false }
     }
 
     fn send(&self, mut req: Request) -> Result<Response, ClientError> {

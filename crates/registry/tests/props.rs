@@ -1,5 +1,7 @@
 //! Property tests for the registry substrate.
 
+#![cfg(feature = "proptest")]
+
 use dhub_model::{Digest, LayerRef, Manifest, RepoName};
 use dhub_registry::{DiskBlobStore, Registry};
 use proptest::prelude::*;

@@ -1,0 +1,403 @@
+//! Bounded MPMC channel over a Mutex+Condvar ring buffer.
+//!
+//! Semantics match what the pipeline layer needs (the conventions of the
+//! well-known external channel crates, so swapping one back in is an
+//! import change):
+//!
+//! * `bounded(cap)` — [`Sender::send`] blocks while the ring is full, so a
+//!   fast producer cannot buffer an unbounded amount of layer data (at
+//!   paper scale that would be tens of terabytes).
+//! * close/drain — dropping the last [`Sender`] closes the channel;
+//!   receivers drain whatever is buffered and then get [`RecvError`].
+//!   Dropping the last [`Receiver`] makes further sends fail fast with the
+//!   rejected value, which is how downstream hang-up stops upstream
+//!   workers.
+//! * MPMC — both ends are `Clone`; every worker of a stage shares one
+//!   receiver.
+//!
+//! Waiters spin briefly ([`crate::Backoff`]) before parking on a condvar:
+//! the uncontended fast path never touches the futex, while a genuinely
+//! full or empty channel parks instead of burning a core.
+
+use crate::backoff::Backoff;
+use crate::lock::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The channel was closed (all receivers gone); the value comes back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a closed channel")
+    }
+}
+
+/// The channel is closed (all senders gone) and fully drained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on a closed and drained channel")
+    }
+}
+
+/// Outcome of a non-blocking send attempt.
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The ring is at capacity right now.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// Outcome of a non-blocking receive attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now, but senders remain.
+    Empty,
+    /// All senders are gone and the buffer is drained.
+    Disconnected,
+}
+
+/// Shared channel state: the ring plus endpoint refcounts.
+struct State<T> {
+    ring: VecDeque<T>,
+    /// Logical capacity; `usize::MAX` marks an unbounded channel.
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Receivers park here; signalled on push and on channel close.
+    not_empty: Condvar,
+    /// Bounded senders park here; signalled on pop and on receiver drop.
+    not_full: Condvar,
+}
+
+/// Creates a bounded MPMC channel (capacity is clamped to at least one).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let cap = cap.max(1);
+    new_chan(cap, VecDeque::with_capacity(cap))
+}
+
+/// Creates an unbounded MPMC channel; sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_chan(usize::MAX, VecDeque::new())
+}
+
+fn new_chan<T>(cap: usize, ring: VecDeque<T>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State { ring, cap, senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+/// Producing half of a channel.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Pushes a value, blocking while the ring is full. Fails (returning
+    /// the value) once every receiver is gone.
+    pub fn send(&self, mut value: T) -> Result<(), SendError<T>> {
+        // Spin-then-park: retry the fast path briefly before committing to
+        // a condvar sleep.
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(v)) => return Err(SendError(v)),
+                Err(TrySendError::Full(v)) => {
+                    value = v;
+                    if !backoff.snooze() {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut st = self.chan.state.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.ring.len() < st.cap {
+                st.ring.push_back(value);
+                drop(st);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.chan.not_full.wait(st);
+        }
+    }
+
+    /// Non-blocking send.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.chan.state.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.ring.len() >= st.cap {
+            return Err(TrySendError::Full(value));
+        }
+        st.ring.push_back(value);
+        drop(st);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().ring.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().senders += 1;
+        Sender { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Wake every parked receiver so each observes the close.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+/// Consuming half of a channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Pops the oldest value, blocking while the ring is empty. Fails once
+    /// the channel is closed *and* drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_recv() {
+                Ok(v) => return Ok(v),
+                Err(TryRecvError::Disconnected) => return Err(RecvError),
+                Err(TryRecvError::Empty) => {
+                    if !backoff.snooze() {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut st = self.chan.state.lock();
+        loop {
+            if let Some(v) = st.ring.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.chan.not_empty.wait(st);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.state.lock();
+        match st.ring.pop_front() {
+            Some(v) => {
+                drop(st);
+                self.chan.not_full.notify_one();
+                Ok(v)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking receive with an upper bound on the wait.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.chan.state.lock();
+        loop {
+            if let Some(v) = st.ring.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TryRecvError::Empty);
+            }
+            (st, _) = self.chan.not_empty.wait_timeout(st, deadline - now);
+        }
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().ring.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator: yields until the channel closes and drains.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().receivers += 1;
+        Receiver { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            // Wake every parked sender so each observes the hang-up.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+/// Borrowing blocking iterator over a [`Receiver`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Owning blocking iterator over a [`Receiver`].
+pub struct IntoIter<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { rx: self }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn drop_sender_closes() {
+        let (tx, rx) = bounded(4);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9), "drains before reporting close");
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn drop_receiver_fails_send() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn try_send_full() {
+        let (tx, _rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+    }
+
+    #[test]
+    fn unbounded_never_blocks() {
+        let (tx, rx) = unbounded();
+        for i in 0..10_000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let all: Vec<i32> = rx.iter().collect();
+        assert_eq!(all.len(), 10_000);
+        assert_eq!(all[9_999], 9_999);
+    }
+
+    #[test]
+    fn recv_timeout_empty_then_value() {
+        let (tx, rx) = bounded::<u8>(2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(TryRecvError::Empty));
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(3));
+    }
+}

@@ -1,0 +1,88 @@
+//! Scoped work-crews: spawn N workers, join them all, propagate panics.
+//!
+//! Built on `std::thread::scope`, so worker closures can borrow from the
+//! caller's stack (no `'static` bounds) — the property `dhub-par`'s
+//! data-parallel helpers rely on to hand slices to workers without
+//! cloning billions of records.
+
+/// Runs `f(worker_index)` on `workers` scoped threads and joins them all.
+///
+/// If any worker panics, the first panic payload is re-raised on the
+/// caller's thread *after* every other worker has been joined, so no
+/// borrowed data is ever left referenced by a live thread.
+pub fn work_crew<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = workers.max(1);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|i| {
+                std::thread::Builder::new()
+                    .name(format!("dhub-crew-{i}"))
+                    .spawn_scoped(scope, move || f(i))
+                    .expect("spawn crew worker")
+            })
+            .collect();
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_workers_run_with_distinct_indices() {
+        let seen = AtomicUsize::new(0);
+        work_crew(8, |i| {
+            seen.fetch_or(1 << i, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 0xFF);
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let ran = AtomicUsize::new(0);
+        work_crew(0, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn workers_can_borrow_from_stack() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        work_crew(4, |i| {
+            sum.fetch_add(data[i] as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn panic_propagates_after_full_join() {
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            work_crew(4, |i| {
+                if i == 1 {
+                    panic!("worker 1 exploded");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        let msg = *result.unwrap_err().downcast::<&str>().unwrap();
+        assert_eq!(msg, "worker 1 exploded");
+        assert_eq!(completed.load(Ordering::Relaxed), 3, "healthy workers finish");
+    }
+}

@@ -1,0 +1,94 @@
+//! Clone-to-add, drop-to-done rendezvous.
+//!
+//! Hand each in-flight unit of work a clone of the group; `wait()` parks
+//! until every clone (including the caller's own, which `wait` consumes)
+//! has dropped. Useful when jobs are pushed into a long-lived pool and the
+//! submitter needs a "this batch is finished" barrier without tearing the
+//! pool down.
+
+use crate::lock::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct Inner {
+    count: Mutex<usize>,
+    all_done: Condvar,
+}
+
+/// Counts outstanding clones; `wait` blocks until zero.
+pub struct WaitGroup {
+    inner: Arc<Inner>,
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitGroup {
+    /// A group with one outstanding member (the value itself).
+    pub fn new() -> WaitGroup {
+        WaitGroup { inner: Arc::new(Inner { count: Mutex::new(1), all_done: Condvar::new() }) }
+    }
+
+    /// Consumes this member and parks until every other member drops.
+    pub fn wait(self) {
+        let inner = self.inner.clone();
+        drop(self); // release our own membership first
+        let mut count = inner.count.lock();
+        while *count > 0 {
+            count = inner.all_done.wait(count);
+        }
+    }
+}
+
+impl Clone for WaitGroup {
+    fn clone(&self) -> Self {
+        *self.inner.count.lock() += 1;
+        WaitGroup { inner: self.inner.clone() }
+    }
+}
+
+impl Drop for WaitGroup {
+    fn drop(&mut self) {
+        let mut count = self.inner.count.lock();
+        *count -= 1;
+        if *count == 0 {
+            drop(count);
+            self.inner.all_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_blocks_until_all_drop() {
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let member = wg.clone();
+            let done = done.clone();
+            handles.push(std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(member);
+            }));
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 4, "wait returned before members finished");
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_with_no_members_returns_immediately() {
+        WaitGroup::new().wait();
+    }
+}
