@@ -4,11 +4,13 @@
 //! capture output) and returns an exit code.
 
 use crate::args::Parsed;
+use dhub_faults::{FaultConfig, FaultInjector, RetryPolicy};
 use dhub_model::RepoName;
 use dhub_study::figures;
-use dhub_study::pipeline::run_study;
+use dhub_study::pipeline::{run_study_with, StudyData};
 use dhub_synth::{generate_hub, SynthConfig, SyntheticHub};
 use std::io::Write;
+use std::sync::Arc;
 
 /// Usage text for `dhub help`.
 pub const USAGE: &str = "\
@@ -34,6 +36,11 @@ OPTIONS (all commands):
   --seed N                  generator seed             [default 42]
   --scale N                 size divisor (1/N)         [default 128]
   --threads N               worker threads             [default: cores]
+
+FAULT INJECTION (report, summary, pull, tags, cache-sim, carve, store):
+  --fault-rate F            per-operation fault probability 0..1 [default 0]
+  --fault-seed N            fault-plan seed (replayable)         [default 0]
+  --max-retries N           retry budget per operation           [default 4]
 ";
 
 fn config(args: &Parsed) -> Result<SynthConfig, crate::ArgError> {
@@ -52,6 +59,40 @@ fn hub_for(args: &Parsed, out: &mut impl Write) -> Result<SyntheticHub, crate::A
 
 fn threads(args: &Parsed) -> Result<usize, crate::ArgError> {
     args.num("threads", dhub_par::default_threads())
+}
+
+/// Parses the fault-injection flags: an injector (when `--fault-rate` is
+/// nonzero) and the retry policy.
+fn fault_setup(
+    args: &Parsed,
+) -> Result<(Option<Arc<FaultInjector>>, RetryPolicy), crate::ArgError> {
+    let rate = args.num("fault-rate", 0.0f64)?;
+    let seed = args.num("fault-seed", 0u64)?;
+    let policy = RetryPolicy::new(args.num("max-retries", 4u32)?).with_seed(seed);
+    let injector = (rate > 0.0)
+        .then(|| Arc::new(FaultInjector::new(FaultConfig::uniform(seed, rate))));
+    Ok((injector, policy))
+}
+
+/// Builds the hub, attaches the fault injector (if requested), and runs
+/// the study pipeline under the configured retry policy.
+fn study_for(
+    args: &Parsed,
+    out: &mut impl Write,
+) -> Result<(SyntheticHub, StudyData), Box<dyn std::error::Error>> {
+    let hub = hub_for(args, out)?;
+    let (injector, policy) = fault_setup(args)?;
+    if let Some(inj) = &injector {
+        let cfg = inj.plan().config();
+        writeln!(out, "fault injection: rate={} seed={} max-retries={}",
+            cfg.rate(dhub_faults::FaultOp::Manifest), cfg.seed, policy.max_retries)?;
+        hub.registry.set_fault_injector(Some(inj.clone()));
+    }
+    let data = run_study_with(&hub, threads(args)?, &policy);
+    if let Some(inj) = &injector {
+        writeln!(out, "faults fired: {}", inj.stats().total())?;
+    }
+    Ok((hub, data))
 }
 
 /// Dispatches a parsed command. Returns a process exit code.
@@ -99,8 +140,7 @@ fn cmd_generate(args: &Parsed, out: &mut impl Write) -> CmdResult {
 }
 
 fn cmd_report(args: &Parsed, out: &mut impl Write) -> CmdResult {
-    let hub = hub_for(args, out)?;
-    let data = run_study(&hub, threads(args)?);
+    let (hub, data) = study_for(args, out)?;
     for fig in figures::all_figures(&data) {
         writeln!(out, "{}", fig.render())?;
     }
@@ -113,8 +153,7 @@ fn cmd_report(args: &Parsed, out: &mut impl Write) -> CmdResult {
 }
 
 fn cmd_summary(args: &Parsed, out: &mut impl Write) -> CmdResult {
-    let hub = hub_for(args, out)?;
-    let data = run_study(&hub, threads(args)?);
+    let (_hub, data) = study_for(args, out)?;
     writeln!(out, "{}", figures::table1(&data).render())?;
     writeln!(out, "{}", figures::table2(&data).render())?;
     Ok(())
@@ -125,10 +164,11 @@ fn cmd_pull(args: &Parsed, out: &mut impl Write) -> CmdResult {
     let tag = args.pos(1).unwrap_or("latest");
     let repo = RepoName::parse(repo_name).ok_or("bad repository name")?;
     let hub = hub_for(args, out)?;
+    let (injector, policy) = fault_setup(args)?;
 
     // Pull over the real HTTP wire, like the paper's downloader.
-    let server = dhub_registry::RegistryServer::start(hub.registry.clone())?;
-    let client = dhub_registry::RemoteRegistry::connect(server.addr());
+    let server = dhub_registry::RegistryServer::start_with_faults(hub.registry.clone(), injector)?;
+    let client = dhub_registry::RemoteRegistry::connect(server.addr()).with_retry_policy(policy);
     let (digest, manifest) = client.get_manifest(&repo, tag)?;
     writeln!(out, "manifest {digest} ({} layers)", manifest.layers.len())?;
     let mut total = 0u64;
@@ -138,6 +178,14 @@ fn cmd_pull(args: &Parsed, out: &mut impl Write) -> CmdResult {
         writeln!(out, "  layer {} : {} bytes", l.digest, blob.len())?;
     }
     writeln!(out, "pulled {} bytes over HTTP", total)?;
+    let stats = client.retry_stats();
+    if stats.retries > 0 || stats.corrupt_retries > 0 {
+        writeln!(
+            out,
+            "retried {} transient faults ({} digest-verify refetches)",
+            stats.retries, stats.corrupt_retries
+        )?;
+    }
     server.shutdown();
     Ok(())
 }
@@ -146,8 +194,9 @@ fn cmd_tags(args: &Parsed, out: &mut impl Write) -> CmdResult {
     let repo_name = args.pos(0).ok_or("usage: dhub tags <repo>")?;
     let repo = RepoName::parse(repo_name).ok_or("bad repository name")?;
     let hub = hub_for(args, out)?;
-    let server = dhub_registry::RegistryServer::start(hub.registry.clone())?;
-    let client = dhub_registry::RemoteRegistry::connect(server.addr());
+    let (injector, policy) = fault_setup(args)?;
+    let server = dhub_registry::RegistryServer::start_with_faults(hub.registry.clone(), injector)?;
+    let client = dhub_registry::RemoteRegistry::connect(server.addr()).with_retry_policy(policy);
     for tag in client.tags(&repo)? {
         writeln!(out, "{tag}")?;
     }
@@ -168,8 +217,7 @@ fn cmd_serve(args: &Parsed, out: &mut impl Write) -> CmdResult {
 
 fn cmd_cache_sim(args: &Parsed, out: &mut impl Write) -> CmdResult {
     use dhub_cache::{simulate, Fifo, GreedyDualSizeFrequency, Lfu, Lru, PullTrace, TraceConfig};
-    let hub = hub_for(args, out)?;
-    let data = run_study(&hub, threads(args)?);
+    let (_hub, data) = study_for(args, out)?;
     let objects: Vec<(u64, f64, u64)> = data
         .images
         .iter()
@@ -206,16 +254,14 @@ fn cmd_cache_sim(args: &Parsed, out: &mut impl Write) -> CmdResult {
 }
 
 fn cmd_carve(args: &Parsed, out: &mut impl Write) -> CmdResult {
-    let hub = hub_for(args, out)?;
-    let data = run_study(&hub, threads(args)?);
+    let (_hub, data) = study_for(args, out)?;
     writeln!(out, "{}", dhub_study::carving::ext_c1(&data).render())?;
     Ok(())
 }
 
 fn cmd_store(args: &Parsed, out: &mut impl Write) -> CmdResult {
     use dhub_dedupstore::DedupStore;
-    let hub = hub_for(args, out)?;
-    let data = run_study(&hub, threads(args)?);
+    let (hub, data) = study_for(args, out)?;
     let store = DedupStore::new();
     for digest in data.layers.keys() {
         let blob = hub.registry.get_blob(digest).expect("downloaded layers exist");
@@ -297,6 +343,36 @@ mod tests {
         assert!(out.contains("Table 1"), "{out}");
         assert!(out.contains("Table 2"), "{out}");
         assert!(out.contains("count dedup ratio"));
+    }
+
+    #[test]
+    fn pull_survives_fault_injection() {
+        let (code, out) = run_cmd(&[
+            "pull", "nginx", "--repos", "20", "--seed", "3", "--scale", "1024",
+            "--fault-rate", "0.4", "--fault-seed", "7", "--max-retries", "16",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("pulled"), "{out}");
+    }
+
+    #[test]
+    fn summary_reports_fault_injection() {
+        let (code, out) = run_cmd(&[
+            "summary", "--repos", "25", "--seed", "5", "--scale", "1024", "--threads", "2",
+            "--fault-rate", "0.2", "--fault-seed", "7", "--max-retries", "16",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("fault injection: rate=0.2 seed=7 max-retries=16"), "{out}");
+        assert!(out.contains("faults fired:"), "{out}");
+        assert!(out.contains("transient retries"), "{out}");
+    }
+
+    #[test]
+    fn fault_free_run_mentions_no_injection() {
+        let (code, out) =
+            run_cmd(&["summary", "--repos", "20", "--seed", "5", "--scale", "1024", "--threads", "2"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("fault injection"), "{out}");
     }
 
     #[test]

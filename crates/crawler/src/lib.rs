@@ -12,6 +12,7 @@ mod parse;
 
 pub use parse::{parse_results_page, PageError, PageInfo, ParsedPage};
 
+use dhub_faults::{fault_key, FaultInjector, FaultKind, FaultOp, RetryPolicy};
 use dhub_model::RepoName;
 use dhub_registry::SearchIndex;
 use std::collections::BTreeSet;
@@ -26,6 +27,11 @@ pub struct CrawlReport {
     pub distinct_repos: usize,
     /// Pages fetched.
     pub pages_fetched: usize,
+    /// Page fetches re-issued after a transient failure.
+    pub page_retries: usize,
+    /// Pages abandoned after the retry budget ran out (their rows are
+    /// simply missing, as they would be from a real crawl).
+    pub pages_gave_up: usize,
 }
 
 /// Crawl outcome: the deduplicated repository list plus statistics.
@@ -39,21 +45,71 @@ pub struct CrawlResult {
 /// HTML page, dedups, and appends `known_official` (the paper hardcodes
 /// the <200 official repositories, which the slash trick cannot find).
 pub fn crawl(search: &SearchIndex, known_official: &[RepoName]) -> CrawlResult {
+    crawl_with(search, known_official, None, &RetryPolicy::default())
+}
+
+/// Fault kinds a search-page fetch can experience. Body damage is not
+/// modeled here — the parser rejects malformed pages outright.
+const SEARCH_FAULTS: [FaultKind; 4] =
+    [FaultKind::Drop, FaultKind::RateLimit, FaultKind::ServerError, FaultKind::SlowLink];
+
+/// [`crawl`] against a faulty search front-end: each page fetch consults
+/// `faults` first, and transient failures back off and retry under
+/// `policy`. A page whose budget runs out is abandoned (its rows go
+/// missing); if the *first* page never loads the crawl aborts, since
+/// pagination depth is unknown without it.
+pub fn crawl_with(
+    search: &SearchIndex,
+    known_official: &[RepoName],
+    faults: Option<&FaultInjector>,
+    policy: &RetryPolicy,
+) -> CrawlResult {
     let mut seen: BTreeSet<RepoName> = BTreeSet::new();
     let mut report = CrawlReport::default();
 
     let mut page = 0usize;
+    let mut total_pages: Option<usize> = None;
     loop {
-        let result = search.search("/", page);
-        report.pages_fetched += 1;
-        let parsed = parse_results_page(&result.html).expect("hub returned malformed page");
-        report.raw_results += parsed.repos.len();
-        for name in parsed.repos {
-            seen.insert(name);
+        let key = fault_key(format!("search:{page}").as_bytes());
+        let mut attempt = 0u32;
+        let result = loop {
+            let fault = faults.and_then(|inj| {
+                match inj.decide(FaultOp::Search, key, &SEARCH_FAULTS) {
+                    Some(FaultKind::SlowLink) => {
+                        // Stalled, not failed: wait it out and proceed.
+                        std::thread::sleep(inj.slow_link());
+                        None
+                    }
+                    f => f,
+                }
+            });
+            match fault {
+                None => break Some(search.search("/", page)),
+                Some(_) if attempt < policy.max_retries => {
+                    report.page_retries += 1;
+                    policy.sleep(key, attempt);
+                    attempt += 1;
+                }
+                Some(_) => {
+                    report.pages_gave_up += 1;
+                    break None;
+                }
+            }
+        };
+        if let Some(result) = result {
+            report.pages_fetched += 1;
+            let parsed = parse_results_page(&result.html).expect("hub returned malformed page");
+            report.raw_results += parsed.repos.len();
+            for name in parsed.repos {
+                seen.insert(name);
+            }
+            total_pages = Some(parsed.info.total_pages);
         }
         page += 1;
-        if page >= parsed.info.total_pages {
-            break;
+        match total_pages {
+            None => break, // first page unreachable — pagination unknown
+            Some(tp) if page >= tp => break,
+            Some(_) => {}
         }
     }
 
@@ -112,5 +168,37 @@ mod tests {
         let r = crawl(&index, &[]).report;
         let factor = r.raw_results as f64 / r.distinct_repos as f64;
         assert!((1.3..1.5).contains(&factor), "factor {factor}");
+    }
+
+    use dhub_faults::FaultConfig;
+
+    #[test]
+    fn faulty_crawl_with_retries_matches_clean_crawl() {
+        let all = repos(400);
+        let index = SearchIndex::build(all, 1.386, 25);
+        let clean = crawl(&index, &[]);
+        let inj = FaultInjector::new(FaultConfig::uniform(77, 0.2));
+        let faulty =
+            crawl_with(&index, &[], Some(&inj), &RetryPolicy::fast(16).with_seed(77));
+        assert_eq!(faulty.repos, clean.repos);
+        assert_eq!(faulty.report.raw_results, clean.report.raw_results);
+        assert_eq!(faulty.report.pages_fetched, clean.report.pages_fetched);
+        assert!(faulty.report.page_retries > 0, "20 % faults must force retries");
+        assert_eq!(faulty.report.pages_gave_up, 0);
+    }
+
+    #[test]
+    fn crawl_without_retries_aborts_on_dead_front_end() {
+        let index = SearchIndex::build(repos(100), 1.386, 25);
+        // SlowLink merely delays, so zero it out to make every attempt fail.
+        let inj = FaultInjector::new(
+            FaultConfig::uniform(1, 1.0).with_weight(FaultKind::SlowLink, 0),
+        );
+        let official = RepoName::official("nginx");
+        let result = crawl_with(&index, &[official], Some(&inj), &RetryPolicy::none());
+        // Page 0 never loads; only the hardcoded official list survives.
+        assert_eq!(result.report.pages_fetched, 0);
+        assert_eq!(result.report.pages_gave_up, 1);
+        assert_eq!(result.repos.len(), 1);
     }
 }

@@ -9,10 +9,12 @@
 //! fetches, and the failure taxonomy (auth vs. missing `latest`) is
 //! tallied exactly as the paper reports it.
 
+use dhub_faults::{fault_key, RetryPolicy};
 use dhub_model::{Digest, Manifest, RepoName};
 use dhub_par::ShardedMap;
 use dhub_registry::{ApiError, NetworkModel, Registry};
 use dhub_sync::Mutex;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,7 +30,7 @@ pub struct DownloadedImage {
 /// Aggregate download outcome — the numbers behind the paper's
 /// "355,319 images / 1,792,609 unique layers / 111,384 failures (13 % auth,
 /// 87 % no latest)".
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DownloadReport {
     pub images_downloaded: usize,
     pub unique_layers: usize,
@@ -39,6 +41,13 @@ pub struct DownloadReport {
     pub failed_auth: usize,
     pub failed_no_latest: usize,
     pub failed_other: usize,
+    /// Attempts re-issued after a transient (retryable) failure.
+    pub retries: u64,
+    /// Operations abandoned after the retry budget ran out.
+    pub gave_up: u64,
+    /// The subset of `retries` forced by failed digest verification
+    /// (truncated or bit-flipped bodies).
+    pub corrupt_retries: u64,
     /// Simulated wall-clock transfer time under the network model, summed
     /// over transfers (i.e. single-connection equivalent).
     pub simulated_transfer: Duration,
@@ -51,6 +60,134 @@ impl DownloadReport {
     }
 }
 
+/// Shared retry bookkeeping for one download run (thread-safe; workers
+/// bump it concurrently).
+pub struct RetryCounters {
+    retries: AtomicU64,
+    gave_up: AtomicU64,
+    corrupt_retries: AtomicU64,
+}
+
+impl Default for RetryCounters {
+    fn default() -> Self {
+        RetryCounters::new()
+    }
+}
+
+impl RetryCounters {
+    /// Zeroed counters.
+    pub fn new() -> RetryCounters {
+        RetryCounters {
+            retries: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+            corrupt_retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts re-issued after retryable errors.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Operations abandoned with the budget exhausted.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up.load(Ordering::Relaxed)
+    }
+
+    /// Retries caused by failed digest verification.
+    pub fn corrupt_retries(&self) -> u64 {
+        self.corrupt_retries.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `op` under `policy`: retryable errors back off (jittered, keyed by
+/// `key`) and re-issue; terminal errors and exhausted budgets surface.
+fn with_retries<T, E>(
+    policy: &RetryPolicy,
+    key: u64,
+    counters: &RetryCounters,
+    is_retryable: impl Fn(&E) -> bool,
+    is_corrupt: impl Fn(&E) -> bool,
+    op: impl Fn() -> Result<T, E>,
+) -> Result<T, E> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_retryable(&e) && attempt < policy.max_retries => {
+                if is_corrupt(&e) {
+                    counters.corrupt_retries.fetch_add(1, Ordering::Relaxed);
+                }
+                counters.retries.fetch_add(1, Ordering::Relaxed);
+                policy.sleep(key, attempt);
+                attempt += 1;
+            }
+            Err(e) => {
+                if is_retryable(&e) {
+                    counters.gave_up.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// A blob-fetch error after verification: either the registry refused, or
+/// the bytes kept failing the digest check.
+#[derive(Debug)]
+pub enum BlobError {
+    Api(ApiError),
+    DigestMismatch,
+}
+
+/// Resolves a manifest under the retry policy, counting what the loop did.
+pub fn get_manifest_with_retry(
+    registry: &Registry,
+    repo: &RepoName,
+    tag: &str,
+    policy: &RetryPolicy,
+    counters: &RetryCounters,
+) -> Result<dhub_registry::PullSession, ApiError> {
+    let key = fault_key(format!("{}:{tag}", repo.full()).as_bytes());
+    with_retries(
+        policy,
+        key,
+        counters,
+        ApiError::is_retryable,
+        |e| matches!(e, ApiError::CorruptManifest),
+        || registry.get_manifest(repo, tag, false),
+    )
+}
+
+/// Fetches one blob and verifies the bytes hash to `digest` — the content
+/// address the manifest promised. A mismatch (bit flip, truncation) is
+/// retried like any transient fault, never silently stored.
+pub fn get_blob_verified(
+    registry: &Registry,
+    digest: &Digest,
+    policy: &RetryPolicy,
+    counters: &RetryCounters,
+) -> Result<Arc<Vec<u8>>, BlobError> {
+    let key = fault_key(&digest.0);
+    with_retries(
+        policy,
+        key,
+        counters,
+        |e| match e {
+            BlobError::Api(e) => e.is_retryable(),
+            BlobError::DigestMismatch => true,
+        },
+        |e| matches!(e, BlobError::DigestMismatch),
+        || {
+            let blob = registry.get_blob(digest).map_err(BlobError::Api)?;
+            if Digest::of(blob.as_ref()) != *digest {
+                return Err(BlobError::DigestMismatch);
+            }
+            Ok(blob)
+        },
+    )
+}
+
 /// Download result: per-image successes plus fetched unique layer blobs.
 pub struct DownloadResult {
     pub images: Vec<DownloadedImage>,
@@ -61,12 +198,26 @@ pub struct DownloadResult {
 }
 
 /// Downloads the `latest` image of every repository in `repos` using
-/// `threads` parallel workers, fetching each unique layer once.
+/// `threads` parallel workers, fetching each unique layer once, with the
+/// default retry policy.
 pub fn download_all(
     registry: &Registry,
     repos: &[RepoName],
     threads: usize,
     net: &NetworkModel,
+) -> DownloadResult {
+    download_all_with(registry, repos, threads, net, &RetryPolicy::default())
+}
+
+/// [`download_all`] with an explicit retry policy ([`RetryPolicy::none`]
+/// fails fast — the "classify, don't retry" stance; larger budgets ride
+/// out injected faults).
+pub fn download_all_with(
+    registry: &Registry,
+    repos: &[RepoName],
+    threads: usize,
+    net: &NetworkModel,
+    policy: &RetryPolicy,
 ) -> DownloadResult {
     // digest → blob, populated once per unique layer.
     let fetched: ShardedMap<Digest, Option<Arc<Vec<u8>>>> = ShardedMap::new(64);
@@ -77,9 +228,13 @@ pub fn download_all(
     let skipped = AtomicU64::new(0);
     let bytes = AtomicU64::new(0);
     let sim_nanos = AtomicU64::new(0);
+    let counters = RetryCounters::new();
+    // Digests whose fetch was abandoned: their placeholder entries must
+    // not masquerade as downloaded layers.
+    let failed_digests: Mutex<BTreeSet<Digest>> = Mutex::new(BTreeSet::new());
 
     dhub_par::par_for_each(threads, repos, |repo| {
-        match registry.get_manifest(repo, "latest", false) {
+        match get_manifest_with_retry(registry, repo, "latest", policy, &counters) {
             Err(ApiError::AuthRequired) => {
                 auth.fetch_add(1, Ordering::Relaxed);
             }
@@ -91,6 +246,7 @@ pub fn download_all(
             }
             Ok(sess) => {
                 sim_nanos.fetch_add(net.transfer_time(1024).as_nanos() as u64, Ordering::Relaxed);
+                let mut image_ok = true;
                 for layer in &sess.manifest.layers {
                     // Claim the digest first so exactly one worker fetches it.
                     let mut claimed = false;
@@ -105,26 +261,39 @@ pub fn download_all(
                         skipped.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
-                    let blob = registry.get_blob(&layer.digest).expect("manifest refs exist");
-                    bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
-                    sim_nanos.fetch_add(
-                        net.transfer_time(blob.len() as u64).as_nanos() as u64,
-                        Ordering::Relaxed,
-                    );
-                    fetched.update(layer.digest, |slot| *slot = Some(blob.clone()));
+                    match get_blob_verified(registry, &layer.digest, policy, &counters) {
+                        Ok(blob) => {
+                            bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                            sim_nanos.fetch_add(
+                                net.transfer_time(blob.len() as u64).as_nanos() as u64,
+                                Ordering::Relaxed,
+                            );
+                            fetched.update(layer.digest, |slot| *slot = Some(blob.clone()));
+                        }
+                        Err(_) => {
+                            failed_digests.lock().insert(layer.digest);
+                            image_ok = false;
+                        }
+                    }
                 }
-                images.lock().push(DownloadedImage {
-                    repo: repo.clone(),
-                    manifest_digest: sess.manifest_digest,
-                    manifest: sess.manifest,
-                });
+                if image_ok {
+                    images.lock().push(DownloadedImage {
+                        repo: repo.clone(),
+                        manifest_digest: sess.manifest_digest,
+                        manifest: sess.manifest,
+                    });
+                } else {
+                    other.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     });
 
+    let failed_digests = failed_digests.into_inner();
     let layers: Vec<(Digest, Arc<Vec<u8>>)> = fetched
         .into_entries()
         .into_iter()
+        .filter(|(d, _)| !failed_digests.contains(d))
         .map(|(d, blob)| (d, blob.expect("claimed blobs are filled")))
         .collect();
     let mut images = images.into_inner();
@@ -138,6 +307,9 @@ pub fn download_all(
         failed_auth: auth.load(Ordering::Relaxed) as usize,
         failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
         failed_other: other.load(Ordering::Relaxed) as usize,
+        retries: counters.retries.load(Ordering::Relaxed),
+        gave_up: counters.gave_up.load(Ordering::Relaxed),
+        corrupt_retries: counters.corrupt_retries.load(Ordering::Relaxed),
         simulated_transfer: Duration::from_nanos(sim_nanos.load(Ordering::Relaxed)),
     };
     DownloadResult { images, layers, report }
@@ -154,6 +326,18 @@ pub fn download_all_http(
     repos: &[RepoName],
     threads: usize,
 ) -> DownloadResult {
+    download_all_http_with(addr, repos, threads, &RetryPolicy::default())
+}
+
+/// [`download_all_http`] with an explicit retry policy; the policy is
+/// installed on every per-repo client, and each client's retry counters
+/// are folded into the report.
+pub fn download_all_http_with(
+    addr: std::net::SocketAddr,
+    repos: &[RepoName],
+    threads: usize,
+    policy: &RetryPolicy,
+) -> DownloadResult {
     use dhub_registry::http::ClientError;
 
     let fetched: ShardedMap<Digest, Option<Arc<Vec<u8>>>> = ShardedMap::new(64);
@@ -163,11 +347,14 @@ pub fn download_all_http(
     let other = AtomicU64::new(0);
     let skipped = AtomicU64::new(0);
     let bytes = AtomicU64::new(0);
+    let counters = RetryCounters::new();
+    let failed_digests: Mutex<BTreeSet<Digest>> = Mutex::new(BTreeSet::new());
 
     dhub_par::par_for_each(threads, repos, |repo| {
         // One client per request batch; connections are per-request
         // (connection: close), matching a crawl that cycles addresses.
-        let client = dhub_registry::RemoteRegistry::connect_anonymous(addr);
+        let client =
+            dhub_registry::RemoteRegistry::connect_anonymous(addr).with_retry_policy(*policy);
         match client.get_manifest(repo, "latest") {
             Err(ClientError::AuthRequired) => {
                 auth.fetch_add(1, Ordering::Relaxed);
@@ -179,6 +366,7 @@ pub fn download_all_http(
                 other.fetch_add(1, Ordering::Relaxed);
             }
             Ok((manifest_digest, manifest)) => {
+                let mut image_ok = true;
                 for layer in &manifest.layers {
                     let mut claimed = false;
                     fetched.update(layer.digest, |slot| {
@@ -191,6 +379,8 @@ pub fn download_all_http(
                         skipped.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
+                    // The client verifies blob digests internally and
+                    // retries mismatches; an error here is final.
                     match client.get_blob(repo, &layer.digest) {
                         Ok(blob) => {
                             bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
@@ -198,18 +388,33 @@ pub fn download_all_http(
                             fetched.update(layer.digest, |slot| *slot = Some(blob.clone()));
                         }
                         Err(_) => {
-                            other.fetch_add(1, Ordering::Relaxed);
+                            failed_digests.lock().insert(layer.digest);
+                            image_ok = false;
                         }
                     }
                 }
-                images.lock().push(DownloadedImage { repo: repo.clone(), manifest_digest, manifest });
+                if image_ok {
+                    images.lock().push(DownloadedImage {
+                        repo: repo.clone(),
+                        manifest_digest,
+                        manifest,
+                    });
+                } else {
+                    other.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
+        let stats = client.retry_stats();
+        counters.retries.fetch_add(stats.retries, Ordering::Relaxed);
+        counters.gave_up.fetch_add(stats.gave_up, Ordering::Relaxed);
+        counters.corrupt_retries.fetch_add(stats.corrupt_retries, Ordering::Relaxed);
     });
 
+    let failed_digests = failed_digests.into_inner();
     let layers: Vec<(Digest, Arc<Vec<u8>>)> = fetched
         .into_entries()
         .into_iter()
+        .filter(|(d, _)| !failed_digests.contains(d))
         .map(|(d, blob)| (d, blob.expect("claimed blobs are filled")))
         .collect();
     let mut images = images.into_inner();
@@ -223,6 +428,9 @@ pub fn download_all_http(
         failed_auth: auth.load(Ordering::Relaxed) as usize,
         failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
         failed_other: other.load(Ordering::Relaxed) as usize,
+        retries: counters.retries.load(Ordering::Relaxed),
+        gave_up: counters.gave_up.load(Ordering::Relaxed),
+        corrupt_retries: counters.corrupt_retries.load(Ordering::Relaxed),
         simulated_transfer: Duration::ZERO,
     };
     DownloadResult { images, layers, report }
@@ -318,6 +526,86 @@ mod tests {
         let res = download_all(&reg, &names, 4, &NetworkModel::datacenter());
         assert_eq!(res.images[0].repo.full(), "a/first");
         assert_eq!(res.images[1].repo.full(), "z/last");
+    }
+
+    use dhub_faults::{FaultConfig, FaultInjector, FaultKind, ALL_FAULT_KINDS};
+
+    fn faulted_registry(cfg: FaultConfig) -> (Registry, Vec<RepoName>) {
+        let (reg, names) = registry_with(&[
+            ("a/ok1", "latest", false, b"layer-1"),
+            ("a/ok2", "latest", false, b"layer-2"),
+            ("b/private", "latest", true, b"secret"),
+            ("b/untagged", "v1", false, b"old"),
+        ]);
+        reg.set_fault_injector(Some(Arc::new(FaultInjector::new(cfg))));
+        (reg, names)
+    }
+
+    #[test]
+    fn faulted_download_with_retries_matches_clean_counts() {
+        let (clean_reg, names) = registry_with(&[
+            ("a/ok1", "latest", false, b"layer-1"),
+            ("a/ok2", "latest", false, b"layer-2"),
+            ("b/private", "latest", true, b"secret"),
+            ("b/untagged", "v1", false, b"old"),
+        ]);
+        let net = NetworkModel::datacenter();
+        let clean = download_all(&clean_reg, &names, 4, &net);
+
+        let (reg, names) = faulted_registry(FaultConfig::uniform(31, 0.3));
+        let faulty =
+            download_all_with(&reg, &names, 4, &net, &RetryPolicy::fast(16).with_seed(31));
+        assert_eq!(faulty.report.images_downloaded, clean.report.images_downloaded);
+        assert_eq!(faulty.report.unique_layers, clean.report.unique_layers);
+        assert_eq!(faulty.report.bytes_fetched, clean.report.bytes_fetched);
+        assert_eq!(faulty.report.failed_auth, clean.report.failed_auth);
+        assert_eq!(faulty.report.failed_no_latest, clean.report.failed_no_latest);
+        assert!(faulty.report.retries > 0, "30 % faults must force retries");
+        assert_eq!(faulty.report.gave_up, 0);
+    }
+
+    #[test]
+    fn corrupt_blobs_are_verified_and_refetched() {
+        // Only bit flips, at a rate retries can ride out: every stored
+        // layer must come back byte-identical, with the refetches counted.
+        let cfg = ALL_FAULT_KINDS.iter().fold(FaultConfig::uniform(13, 0.5), |c, &k| {
+            c.with_weight(k, u32::from(k == FaultKind::Corrupt))
+        });
+        let (reg, names) = faulted_registry(cfg);
+        let res = download_all_with(
+            &reg,
+            &names,
+            2,
+            &NetworkModel::datacenter(),
+            &RetryPolicy::fast(16).with_seed(13),
+        );
+        assert_eq!(res.report.images_downloaded, 2);
+        assert!(res.report.corrupt_retries > 0, "rate 0.5 must flip some blobs");
+        for (digest, blob) in &res.layers {
+            assert_eq!(Digest::of(blob.as_ref()), *digest, "stored layer failed verification");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_image_not_the_run() {
+        // Blob fetches always fault and the budget is zero: both public
+        // images lose a layer, land in failed_other, and the layer list
+        // contains no placeholder garbage.
+        let cfg = ALL_FAULT_KINDS
+            .iter()
+            .fold(FaultConfig::off().with_rate(dhub_faults::FaultOp::Blob, 1.0), |c, &k| {
+                c.with_weight(k, u32::from(k == FaultKind::Corrupt))
+            });
+        let (reg, names) = faulted_registry(cfg);
+        let res =
+            download_all_with(&reg, &names, 2, &NetworkModel::datacenter(), &RetryPolicy::none());
+        assert_eq!(res.report.images_downloaded, 0);
+        assert_eq!(res.report.failed_other, 2);
+        assert_eq!(res.report.failed_auth, 1);
+        assert_eq!(res.report.failed_no_latest, 1);
+        assert_eq!(res.report.gave_up, 2);
+        assert!(res.layers.is_empty());
+        assert_eq!(res.report.unique_layers, 0);
     }
 }
 

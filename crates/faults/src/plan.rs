@@ -1,0 +1,418 @@
+//! The seeded fault plan and its stateful injector.
+
+use dhub_sync::Mutex;
+use proptest::TestRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What kind of fault fires on one operation attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Connection dies before any response arrives (TCP RST / mid-read
+    /// close). Clients see an I/O or unexpected-EOF error.
+    Drop,
+    /// HTTP 429 Too Many Requests — the Hub's rate limiter.
+    RateLimit,
+    /// HTTP 5xx — transient backend failure.
+    ServerError,
+    /// A presented, previously valid bearer token is transiently rejected
+    /// (token expiry mid-crawl). Only meaningful on authenticated requests.
+    AuthFlap,
+    /// The link stalls: response is delayed but otherwise correct.
+    SlowLink,
+    /// The response body is cut short (content-length promises more bytes
+    /// than arrive).
+    Truncate,
+    /// One bit of the response body is flipped — caught only by digest
+    /// verification.
+    Corrupt,
+}
+
+/// All fault kinds, in a fixed order used for stats indexing.
+pub const ALL_FAULT_KINDS: [FaultKind; 7] = [
+    FaultKind::Drop,
+    FaultKind::RateLimit,
+    FaultKind::ServerError,
+    FaultKind::AuthFlap,
+    FaultKind::SlowLink,
+    FaultKind::Truncate,
+    FaultKind::Corrupt,
+];
+
+impl FaultKind {
+    fn index(self) -> usize {
+        match self {
+            FaultKind::Drop => 0,
+            FaultKind::RateLimit => 1,
+            FaultKind::ServerError => 2,
+            FaultKind::AuthFlap => 3,
+            FaultKind::SlowLink => 4,
+            FaultKind::Truncate => 5,
+            FaultKind::Corrupt => 6,
+        }
+    }
+
+    /// Short human-readable name (stats rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::RateLimit => "rate-limit",
+            FaultKind::ServerError => "server-error",
+            FaultKind::AuthFlap => "auth-flap",
+            FaultKind::SlowLink => "slow-link",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// Which pipeline operation is being attempted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// Manifest resolution (`GET /v2/<name>/manifests/<ref>`).
+    Manifest,
+    /// Layer blob fetch (`GET /v2/<name>/blobs/<digest>`).
+    Blob,
+    /// Token issuance / validation (the Bearer dance).
+    Token,
+    /// A crawl search-results page fetch.
+    Search,
+}
+
+/// All ops, in a fixed order used for stats indexing and rate config.
+pub const ALL_FAULT_OPS: [FaultOp; 4] =
+    [FaultOp::Manifest, FaultOp::Blob, FaultOp::Token, FaultOp::Search];
+
+impl FaultOp {
+    fn index(self) -> usize {
+        match self {
+            FaultOp::Manifest => 0,
+            FaultOp::Blob => 1,
+            FaultOp::Token => 2,
+            FaultOp::Search => 3,
+        }
+    }
+
+    /// Short human-readable name (stats rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::Manifest => "manifest",
+            FaultOp::Blob => "blob",
+            FaultOp::Token => "token",
+            FaultOp::Search => "search",
+        }
+    }
+}
+
+/// Configuration for a fault plan: seed, per-operation fault rates, and
+/// relative weights of the fault kinds.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Seed the entire fault stream derives from.
+    pub seed: u64,
+    /// Per-op probability (0..=1) that one attempt faults, indexed like
+    /// [`ALL_FAULT_OPS`].
+    pub rates: [f64; 4],
+    /// Relative weight of each kind when a fault fires, indexed like
+    /// [`ALL_FAULT_KINDS`]. A zero weight disables the kind.
+    pub weights: [u32; 7],
+    /// How long a [`FaultKind::SlowLink`] stall lasts.
+    pub slow_link: Duration,
+}
+
+impl FaultConfig {
+    /// The same fault rate on every operation, default kind mix.
+    pub fn uniform(seed: u64, rate: f64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            rates: [rate; 4],
+            // Transport errors dominate real crawls; corruption is rarer.
+            weights: [3, 3, 3, 1, 1, 2, 2],
+            slow_link: Duration::from_millis(1),
+        }
+    }
+
+    /// No faults at all (rate 0 everywhere).
+    pub fn off() -> FaultConfig {
+        FaultConfig::uniform(0, 0.0)
+    }
+
+    /// Sets the rate for one operation (builder-style).
+    pub fn with_rate(mut self, op: FaultOp, rate: f64) -> FaultConfig {
+        self.rates[op.index()] = rate;
+        self
+    }
+
+    /// Sets one kind's relative weight (builder-style); 0 disables it.
+    pub fn with_weight(mut self, kind: FaultKind, weight: u32) -> FaultConfig {
+        self.weights[kind.index()] = weight;
+        self
+    }
+
+    /// Sets the slow-link stall duration (builder-style).
+    pub fn with_slow_link(mut self, d: Duration) -> FaultConfig {
+        self.slow_link = d;
+        self
+    }
+
+    /// The fault rate of one operation.
+    pub fn rate(&self, op: FaultOp) -> f64 {
+        self.rates[op.index()]
+    }
+}
+
+/// FxHash-style mixer turning an identity (repo name, digest hex, page
+/// number bytes) into a stable fault key.
+pub fn fault_key(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn mix4(seed: u64, op: FaultOp, key: u64, attempt: u32) -> u64 {
+    // One splitmix step per component keeps the four inputs independent.
+    let mut rng = TestRng::new(
+        seed ^ key.rotate_left(17) ^ ((op.index() as u64) << 56) ^ ((attempt as u64) << 32),
+    );
+    rng.next_u64()
+}
+
+/// The pure decision function: a seeded plan with no mutable state.
+///
+/// `decide(op, key, attempt, allowed)` answers identically for identical
+/// inputs — the whole point. The `allowed` slice is the set of kinds the
+/// *injection site* can physically express (a zero-length blob cannot be
+/// truncated; an anonymous request has no token to flap), so stats only
+/// ever count faults that actually happened.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// A plan over `config`.
+    pub fn new(config: FaultConfig) -> FaultPlan {
+        FaultPlan { config }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Whether attempt `attempt` of operation `(op, key)` faults, and how.
+    pub fn decide(
+        &self,
+        op: FaultOp,
+        key: u64,
+        attempt: u32,
+        allowed: &[FaultKind],
+    ) -> Option<FaultKind> {
+        let rate = self.config.rate(op);
+        if rate <= 0.0 || allowed.is_empty() {
+            return None;
+        }
+        let mut rng = TestRng::new(mix4(self.config.seed, op, key, attempt));
+        if rng.unit_f64() >= rate {
+            return None;
+        }
+        let total: u64 = allowed.iter().map(|k| self.config.weights[k.index()] as u64).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut pick = rng.below(total);
+        for &k in allowed {
+            let w = self.config.weights[k.index()] as u64;
+            if pick < w {
+                return Some(k);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+/// Counters of faults actually fired, by kind and by operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Fired faults per kind, indexed like [`ALL_FAULT_KINDS`].
+    pub by_kind: [u64; 7],
+    /// Fired faults per op, indexed like [`ALL_FAULT_OPS`].
+    pub by_op: [u64; 4],
+}
+
+impl FaultStats {
+    /// Total faults fired.
+    pub fn total(&self) -> u64 {
+        self.by_kind.iter().sum()
+    }
+
+    /// Faults of one kind.
+    pub fn kind(&self, k: FaultKind) -> u64 {
+        self.by_kind[k.index()]
+    }
+
+    /// Faults on one operation.
+    pub fn op(&self, o: FaultOp) -> u64 {
+        self.by_op[o.index()]
+    }
+}
+
+/// A [`FaultPlan`] plus the per-`(op, key)` attempt counters and fired
+/// statistics: the object injection sites consult.
+///
+/// Determinism note: each `(op, key)` identifies one logical resource
+/// (one repo's manifest, one blob digest, one search page) whose attempts
+/// are sequenced by a single worker in every pipeline here, so the attempt
+/// counter — and therefore the full fault stream — does not depend on
+/// thread interleaving.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    attempts: Mutex<HashMap<(u8, u64), u32>>,
+    by_kind: [AtomicU64; 7],
+    by_op: [AtomicU64; 4],
+}
+
+impl FaultInjector {
+    /// An injector over `config` with zeroed counters.
+    pub fn new(config: FaultConfig) -> FaultInjector {
+        FaultInjector {
+            plan: FaultPlan::new(config),
+            attempts: Mutex::new(HashMap::new()),
+            by_kind: Default::default(),
+            by_op: Default::default(),
+        }
+    }
+
+    /// The underlying pure plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The configured slow-link stall.
+    pub fn slow_link(&self) -> Duration {
+        self.plan.config().slow_link
+    }
+
+    /// Decides the fate of the next attempt at `(op, key)`, restricted to
+    /// the `allowed` kinds, bumping the attempt counter and recording any
+    /// fired fault in the statistics.
+    pub fn decide(&self, op: FaultOp, key: u64, allowed: &[FaultKind]) -> Option<FaultKind> {
+        let attempt = {
+            let mut attempts = self.attempts.lock();
+            let slot = attempts.entry((op.index() as u8, key)).or_insert(0);
+            let a = *slot;
+            *slot += 1;
+            a
+        };
+        let fired = self.plan.decide(op, key, attempt, allowed);
+        if let Some(kind) = fired {
+            self.by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+            self.by_op[op.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Snapshot of the fired-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        let mut s = FaultStats::default();
+        for (i, c) in self.by_kind.iter().enumerate() {
+            s.by_kind[i] = c.load(Ordering::Relaxed);
+        }
+        for (i, c) in self.by_op.iter().enumerate() {
+            s.by_op[i] = c.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_pure_function_of_inputs() {
+        let plan = FaultPlan::new(FaultConfig::uniform(42, 0.5));
+        for key in 0..200u64 {
+            for attempt in 0..4 {
+                let a = plan.decide(FaultOp::Blob, key, attempt, &ALL_FAULT_KINDS);
+                let b = plan.decide(FaultOp::Blob, key, attempt, &ALL_FAULT_KINDS);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_zero_never_faults() {
+        let plan = FaultPlan::new(FaultConfig::uniform(1, 0.0));
+        for key in 0..500u64 {
+            assert_eq!(plan.decide(FaultOp::Manifest, key, 0, &ALL_FAULT_KINDS), None);
+        }
+    }
+
+    #[test]
+    fn rate_one_always_faults() {
+        let plan = FaultPlan::new(FaultConfig::uniform(1, 1.0));
+        for key in 0..100u64 {
+            assert!(plan.decide(FaultOp::Manifest, key, 0, &ALL_FAULT_KINDS).is_some());
+        }
+    }
+
+    #[test]
+    fn allowed_set_is_respected() {
+        let plan = FaultPlan::new(FaultConfig::uniform(7, 1.0));
+        for key in 0..200u64 {
+            let k = plan.decide(FaultOp::Blob, key, 0, &[FaultKind::Corrupt]).unwrap();
+            assert_eq!(k, FaultKind::Corrupt);
+        }
+        assert_eq!(plan.decide(FaultOp::Blob, 1, 0, &[]), None);
+    }
+
+    #[test]
+    fn zero_weight_disables_kind() {
+        let cfg = FaultConfig::uniform(9, 1.0).with_weight(FaultKind::Drop, 0);
+        let plan = FaultPlan::new(cfg);
+        for key in 0..300u64 {
+            assert_ne!(
+                plan.decide(FaultOp::Blob, key, 0, &ALL_FAULT_KINDS),
+                Some(FaultKind::Drop)
+            );
+        }
+    }
+
+    #[test]
+    fn injector_counts_attempts_per_key() {
+        let inj = FaultInjector::new(FaultConfig::uniform(11, 1.0));
+        // Two injectors with the same config replay the same stream.
+        let inj2 = FaultInjector::new(FaultConfig::uniform(11, 1.0));
+        let mine: Vec<_> =
+            (0..50).map(|i| inj.decide(FaultOp::Blob, i % 10, &ALL_FAULT_KINDS)).collect();
+        let theirs: Vec<_> =
+            (0..50).map(|i| inj2.decide(FaultOp::Blob, i % 10, &ALL_FAULT_KINDS)).collect();
+        assert_eq!(mine, theirs);
+        assert_eq!(inj.stats(), inj2.stats());
+        assert_eq!(inj.stats().total(), 50, "rate 1.0 fires every attempt");
+        assert_eq!(inj.stats().op(FaultOp::Blob), 50);
+        assert_eq!(inj.stats().op(FaultOp::Manifest), 0);
+    }
+
+    #[test]
+    fn different_attempts_differ_eventually() {
+        // With rate 0.5 the same key must not fault forever: some attempt
+        // in the first dozen succeeds for every key we try.
+        let plan = FaultPlan::new(FaultConfig::uniform(3, 0.5));
+        for key in 0..100u64 {
+            let ok = (0..12).any(|a| plan.decide(FaultOp::Blob, key, a, &ALL_FAULT_KINDS).is_none());
+            assert!(ok, "key {key} faulted 12 times in a row at rate 0.5");
+        }
+    }
+
+    #[test]
+    fn fault_key_is_stable_and_spread() {
+        assert_eq!(fault_key(b"nginx:latest"), fault_key(b"nginx:latest"));
+        assert_ne!(fault_key(b"nginx:latest"), fault_key(b"nginx:1.9"));
+    }
+}

@@ -7,6 +7,7 @@
 //! [`ApiError::AuthRequired`] and [`ApiError::TagNotFound`].
 
 use crate::blobstore::BlobStore;
+use dhub_faults::{fault_key, FaultInjector, FaultKind, FaultOp};
 use dhub_model::{Digest, Manifest, RepoName};
 use dhub_sync::RwLock;
 use std::collections::HashMap;
@@ -25,8 +26,30 @@ pub enum ApiError {
     AuthRequired,
     /// Manifest or blob digest not present in the store.
     BlobNotFound,
-    /// Stored manifest failed to parse (registry corruption).
+    /// Stored manifest failed to parse (registry corruption, or an
+    /// injected truncation/bit-flip of the manifest body).
     CorruptManifest,
+    /// HTTP 429: the registry's rate limiter pushed back (retryable).
+    RateLimited,
+    /// HTTP 5xx: transient backend failure (retryable).
+    Unavailable,
+    /// The connection died before a response arrived (retryable).
+    ConnectionReset,
+}
+
+impl ApiError {
+    /// Whether a retry can plausibly succeed. Terminal errors (auth walls,
+    /// missing tags/repos/blobs) are *classified*, exactly as the paper's
+    /// downloader did; transient transport errors are retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ApiError::RateLimited
+                | ApiError::Unavailable
+                | ApiError::ConnectionReset
+                | ApiError::CorruptManifest
+        )
+    }
 }
 
 impl std::fmt::Display for ApiError {
@@ -37,6 +60,9 @@ impl std::fmt::Display for ApiError {
             ApiError::AuthRequired => "authentication required",
             ApiError::BlobNotFound => "blob not found",
             ApiError::CorruptManifest => "corrupt manifest",
+            ApiError::RateLimited => "rate limited (429)",
+            ApiError::Unavailable => "service unavailable (5xx)",
+            ApiError::ConnectionReset => "connection reset",
         };
         f.write_str(s)
     }
@@ -58,7 +84,34 @@ struct RepoState {
 pub struct Registry {
     repos: RwLock<HashMap<RepoName, RepoState>>,
     blobs: BlobStore,
+    /// Optional fault injector: when set, manifest and blob operations
+    /// consult it and may fail transiently or return corrupted bytes —
+    /// the flaky public registry the paper's pipeline actually faced.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
 }
+
+/// Fault kinds an in-process manifest resolution can express.
+const MANIFEST_FAULTS: [FaultKind; 5] = [
+    FaultKind::Drop,
+    FaultKind::RateLimit,
+    FaultKind::ServerError,
+    FaultKind::SlowLink,
+    FaultKind::Corrupt,
+];
+
+/// Fault kinds an in-process blob fetch can express (nonempty blob).
+const BLOB_FAULTS: [FaultKind; 6] = [
+    FaultKind::Drop,
+    FaultKind::RateLimit,
+    FaultKind::ServerError,
+    FaultKind::SlowLink,
+    FaultKind::Truncate,
+    FaultKind::Corrupt,
+];
+
+/// Blob faults applicable when the blob is empty (nothing to damage).
+const EMPTY_BLOB_FAULTS: [FaultKind; 4] =
+    [FaultKind::Drop, FaultKind::RateLimit, FaultKind::ServerError, FaultKind::SlowLink];
 
 /// Aggregate numbers for reports (the paper's Table-1-style summary).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,7 +137,49 @@ impl Default for Registry {
 impl Registry {
     /// Creates an empty registry.
     pub fn new() -> Registry {
-        Registry { repos: RwLock::new(HashMap::new()), blobs: BlobStore::new() }
+        Registry {
+            repos: RwLock::new(HashMap::new()),
+            blobs: BlobStore::new(),
+            faults: RwLock::new(None),
+        }
+    }
+
+    /// Attaches (or, with `None`, detaches) a fault injector. All
+    /// subsequent manifest/blob operations consult it.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.faults.write() = injector;
+    }
+
+    /// The currently attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.faults.read().clone()
+    }
+
+    /// Consults the injector for one attempt at `(op, key)`; returns the
+    /// error the operation should fail with, or `None` to proceed.
+    /// `SlowLink` sleeps here and proceeds.
+    fn injected_failure(
+        &self,
+        op: FaultOp,
+        key: u64,
+        allowed: &[FaultKind],
+    ) -> Option<(FaultKind, ApiError)> {
+        let injector = self.faults.read().clone()?;
+        let kind = injector.decide(op, key, allowed)?;
+        let err = match kind {
+            FaultKind::Drop => ApiError::ConnectionReset,
+            FaultKind::RateLimit => ApiError::RateLimited,
+            FaultKind::ServerError => ApiError::Unavailable,
+            FaultKind::SlowLink => {
+                std::thread::sleep(injector.slow_link());
+                return None;
+            }
+            // In-process, a damaged manifest body surfaces as a parse
+            // failure; blob damage is handled by the caller (bytes).
+            FaultKind::Truncate | FaultKind::Corrupt => ApiError::CorruptManifest,
+            FaultKind::AuthFlap => ApiError::AuthRequired,
+        };
+        Some((kind, err))
     }
 
     /// Creates a repository. `requires_auth` marks repos that reject
@@ -123,8 +218,14 @@ impl Registry {
     }
 
     /// Resolves `repo:tag` to its manifest — the first half of `docker
-    /// pull`. Counts one pull against the repository.
+    /// pull`. Counts one pull against the repository (successful
+    /// resolutions only, so retried faulty attempts do not inflate the
+    /// popularity signal).
     pub fn get_manifest(&self, repo: &RepoName, tag: &str, authed: bool) -> Result<PullSession, ApiError> {
+        let key = fault_key(format!("{}:{tag}", repo.full()).as_bytes());
+        if let Some((_kind, err)) = self.injected_failure(FaultOp::Manifest, key, &MANIFEST_FAULTS) {
+            return Err(err);
+        }
         let repos = self.repos.read();
         let state = repos.get(repo).ok_or(ApiError::RepoNotFound)?;
         if state.requires_auth && !authed {
@@ -140,8 +241,40 @@ impl Registry {
     }
 
     /// Fetches a blob by digest — the second half of `docker pull`.
+    ///
+    /// With a fault injector attached this may fail transiently or return
+    /// **damaged bytes** (truncated or bit-flipped); callers that care
+    /// must verify the content digest, exactly as a real `docker pull`
+    /// does.
     pub fn get_blob(&self, digest: &Digest) -> Result<Arc<Vec<u8>>, ApiError> {
-        self.blobs.get(digest).ok_or(ApiError::BlobNotFound)
+        let blob = self.blobs.get(digest).ok_or(ApiError::BlobNotFound)?;
+        let Some(injector) = self.faults.read().clone() else { return Ok(blob) };
+        let key = fault_key(&digest.0);
+        let allowed: &[FaultKind] =
+            if blob.is_empty() { &EMPTY_BLOB_FAULTS } else { &BLOB_FAULTS };
+        match injector.decide(FaultOp::Blob, key, allowed) {
+            None => Ok(blob),
+            Some(FaultKind::SlowLink) => {
+                std::thread::sleep(injector.slow_link());
+                Ok(blob)
+            }
+            Some(FaultKind::Drop) => Err(ApiError::ConnectionReset),
+            Some(FaultKind::RateLimit) => Err(ApiError::RateLimited),
+            Some(FaultKind::ServerError) => Err(ApiError::Unavailable),
+            Some(FaultKind::Truncate) => {
+                let mut v = blob.as_ref().clone();
+                let keep = (key as usize) % v.len();
+                v.truncate(keep);
+                Ok(Arc::new(v))
+            }
+            Some(FaultKind::Corrupt) => {
+                let mut v = blob.as_ref().clone();
+                let bit = (key as usize) % (v.len() * 8);
+                v[bit / 8] ^= 1 << (bit % 8);
+                Ok(Arc::new(v))
+            }
+            Some(FaultKind::AuthFlap) => unreachable!("auth flap not in blob fault set"),
+        }
     }
 
     /// Records `n` synthetic historical pulls (the generator uses this to
@@ -366,5 +499,77 @@ mod tests {
         let repo = RepoName::official("a");
         push_simple(&reg, &repo, "latest", &[0u8; 100]);
         assert!(reg.stats().stored_bytes >= 100);
+    }
+
+    #[test]
+    fn injected_faults_fire_and_detach_cleanly() {
+        use dhub_faults::{FaultConfig, FaultInjector};
+        let reg = Registry::new();
+        let repo = RepoName::official("nginx");
+        push_simple(&reg, &repo, "latest", b"payload-bytes");
+
+        // Rate 1.0: every attempt faults with some transient error.
+        let inj = Arc::new(FaultInjector::new(FaultConfig::uniform(7, 1.0)));
+        reg.set_fault_injector(Some(inj.clone()));
+        let mut failures = 0;
+        for _ in 0..16 {
+            match reg.get_manifest(&repo, "latest", false) {
+                Err(e) => {
+                    assert!(e.is_retryable(), "injected error must be retryable: {e:?}");
+                    failures += 1;
+                }
+                Ok(_) => {} // SlowLink proceeds after the stall
+            }
+        }
+        assert!(failures > 0, "rate-1.0 injector never failed a manifest fetch");
+        assert!(inj.stats().total() >= 16, "every attempt decided");
+
+        // Detached: clean behavior returns.
+        reg.set_fault_injector(None);
+        assert!(reg.get_manifest(&repo, "latest", false).is_ok());
+    }
+
+    #[test]
+    fn corrupt_blob_fails_digest_check() {
+        use dhub_faults::{FaultConfig, FaultInjector, FaultKind};
+        let reg = Registry::new();
+        let repo = RepoName::official("redis");
+        let digest = {
+            let blob = b"some layer content".to_vec();
+            let layer = LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 };
+            let manifest = Manifest::new(vec![layer]);
+            reg.create_repo(repo.clone(), false);
+            reg.push_image(&repo, "latest", &manifest, vec![blob]).unwrap();
+            Digest::of(b"some layer content")
+        };
+        // Only corruption, always.
+        let cfg = FaultConfig::uniform(3, 1.0)
+            .with_weight(FaultKind::Drop, 0)
+            .with_weight(FaultKind::RateLimit, 0)
+            .with_weight(FaultKind::ServerError, 0)
+            .with_weight(FaultKind::SlowLink, 0)
+            .with_weight(FaultKind::Truncate, 0);
+        reg.set_fault_injector(Some(Arc::new(FaultInjector::new(cfg))));
+        let damaged = reg.get_blob(&digest).unwrap();
+        assert_ne!(Digest::of(&damaged), digest, "bit flip must change the digest");
+        assert_eq!(damaged.len(), b"some layer content".len(), "corrupt keeps length");
+    }
+
+    #[test]
+    fn pull_counts_unaffected_by_faulted_attempts() {
+        use dhub_faults::{FaultConfig, FaultInjector};
+        let reg = Registry::new();
+        let repo = RepoName::official("app");
+        push_simple(&reg, &repo, "latest", b"x");
+        // 50% fault rate: retry until one attempt succeeds.
+        reg.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultConfig::uniform(5, 0.5)))));
+        let mut successes = 0;
+        for _ in 0..64 {
+            if reg.get_manifest(&repo, "latest", false).is_ok() {
+                successes += 1;
+            }
+        }
+        assert!(successes > 0);
+        assert_eq!(reg.pull_count(&repo), Some(successes), "only successes count pulls");
     }
 }

@@ -6,8 +6,10 @@
 //! retries once, exactly as `docker pull` does.
 
 use crate::http::wire::{read_response, Request, Response, WireError};
+use dhub_faults::{fault_key, RetryClass, RetryPolicy};
 use dhub_model::{Digest, Manifest, RepoName};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -18,8 +20,45 @@ pub enum ClientError {
     AuthRequired,
     /// 404 family.
     NotFound,
+    /// HTTP 429 — backed off by the registry's rate limiter.
+    RateLimited,
+    /// HTTP 5xx — transient server-side failure.
+    Unavailable,
+    /// Manifest body failed verification (unparseable, or its content
+    /// digest disagrees with the `Docker-Content-Digest` header).
+    CorruptManifest,
+    /// Blob bytes do not hash to the digest they were requested by.
+    CorruptBlob,
     /// Anything else unexpected.
     Protocol(String),
+}
+
+impl ClientError {
+    /// Whether another attempt could plausibly succeed. Transport faults
+    /// and corruption are transient; auth walls and 404s are facts about
+    /// the repository, which the paper classified instead of retrying.
+    pub fn retry_class(&self) -> RetryClass {
+        match self {
+            ClientError::Io(_)
+            | ClientError::Wire(_)
+            | ClientError::RateLimited
+            | ClientError::Unavailable
+            | ClientError::CorruptManifest
+            | ClientError::CorruptBlob => RetryClass::Retryable,
+            ClientError::AuthRequired | ClientError::NotFound | ClientError::Protocol(_) => {
+                RetryClass::Terminal
+            }
+        }
+    }
+
+    /// `retry_class() == Retryable`, as a predicate.
+    pub fn is_retryable(&self) -> bool {
+        self.retry_class() == RetryClass::Retryable
+    }
+
+    fn is_corruption(&self) -> bool {
+        matches!(self, ClientError::CorruptManifest | ClientError::CorruptBlob)
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -29,6 +68,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "wire: {e}"),
             ClientError::AuthRequired => f.write_str("authentication required"),
             ClientError::NotFound => f.write_str("not found"),
+            ClientError::RateLimited => f.write_str("rate limited (429)"),
+            ClientError::Unavailable => f.write_str("server unavailable (5xx)"),
+            ClientError::CorruptManifest => f.write_str("manifest failed digest verification"),
+            ClientError::CorruptBlob => f.write_str("blob failed digest verification"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
         }
     }
@@ -48,6 +91,17 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// Counters of what the retry loop did over a client's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts re-issued after a retryable error.
+    pub retries: u64,
+    /// Operations abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// The subset of `retries` caused by failed digest verification.
+    pub corrupt_retries: u64,
+}
+
 /// An HTTP client bound to one registry address.
 pub struct RemoteRegistry {
     addr: SocketAddr,
@@ -56,17 +110,81 @@ pub struct RemoteRegistry {
     /// Whether to attempt the token dance on 401 (the study's anonymous
     /// downloader does not hold credentials; `docker login` users do).
     pub use_token_auth: bool,
+    /// Backoff schedule applied to retryable errors.
+    policy: RetryPolicy,
+    retries: AtomicU64,
+    gave_up: AtomicU64,
+    corrupt_retries: AtomicU64,
 }
 
 impl RemoteRegistry {
     /// Creates a client for `addr` that performs the token dance.
     pub fn connect(addr: SocketAddr) -> RemoteRegistry {
-        RemoteRegistry { addr, token: dhub_sync::Mutex::new(None), use_token_auth: true }
+        RemoteRegistry {
+            addr,
+            token: dhub_sync::Mutex::new(None),
+            use_token_auth: true,
+            policy: RetryPolicy::default(),
+            retries: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+            corrupt_retries: AtomicU64::new(0),
+        }
     }
 
     /// Creates an anonymous client (no token dance — the study's stance).
     pub fn connect_anonymous(addr: SocketAddr) -> RemoteRegistry {
-        RemoteRegistry { addr, token: dhub_sync::Mutex::new(None), use_token_auth: false }
+        RemoteRegistry { use_token_auth: false, ..RemoteRegistry::connect(addr) }
+    }
+
+    /// Builder: replaces the retry policy (e.g. [`RetryPolicy::none`] to
+    /// fail fast, [`RetryPolicy::fast`] in tests).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> RemoteRegistry {
+        self.policy = policy;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of the retry counters.
+    pub fn retry_stats(&self) -> RetryStats {
+        RetryStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            gave_up: self.gave_up.load(Ordering::Relaxed),
+            corrupt_retries: self.corrupt_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `op` under the retry policy: retryable errors sleep the
+    /// jittered backoff delay and re-issue, up to `max_retries` extra
+    /// attempts; terminal errors surface immediately.
+    fn retrying<T>(
+        &self,
+        key: u64,
+        op: impl Fn() -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
+                    if e.is_corruption() {
+                        self.corrupt_retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.policy.sleep(key, attempt);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if e.is_retryable() {
+                        self.gave_up.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 
     fn send(&self, mut req: Request) -> Result<Response, ClientError> {
@@ -99,8 +217,13 @@ impl RemoteRegistry {
             .ok_or_else(|| ClientError::Protocol("challenge without realm".into()))?
             .to_string();
         let tok_resp = self.send(Request::get(&realm))?;
-        if tok_resp.status != 200 {
-            return Err(ClientError::AuthRequired);
+        match tok_resp.status {
+            200 => {}
+            // A flaky token endpoint is a transport problem, not an auth
+            // verdict — let the retry loop take another run at it.
+            429 => return Err(ClientError::RateLimited),
+            s if s >= 500 => return Err(ClientError::Unavailable),
+            _ => return Err(ClientError::AuthRequired),
         }
         let body = std::str::from_utf8(&tok_resp.body)
             .map_err(|_| ClientError::Protocol("token not utf8".into()))?;
@@ -126,44 +249,80 @@ impl RemoteRegistry {
         }
     }
 
-    /// Fetches and parses a manifest; returns it with its content digest
-    /// from the `Docker-Content-Digest` header.
+    /// Fetches and parses a manifest, retrying transient failures; returns
+    /// it with its content digest. The body is *verified*: an unparseable
+    /// manifest or one whose recomputed digest disagrees with the
+    /// `Docker-Content-Digest` header is treated as wire corruption and
+    /// re-fetched, not trusted.
     pub fn get_manifest(&self, repo: &RepoName, reference: &str) -> Result<(Digest, Manifest), ClientError> {
+        let key = fault_key(format!("{}:{reference}", repo.full()).as_bytes());
+        self.retrying(key, || self.get_manifest_once(repo, reference))
+    }
+
+    fn get_manifest_once(
+        &self,
+        repo: &RepoName,
+        reference: &str,
+    ) -> Result<(Digest, Manifest), ClientError> {
         let resp = self.get(&format!("/v2/{}/manifests/{reference}", repo.full()))?;
         match resp.status {
             200 => {
-                let text = std::str::from_utf8(&resp.body)
-                    .map_err(|_| ClientError::Protocol("manifest not utf8".into()))?;
-                let manifest = Manifest::from_json(text)
-                    .ok_or_else(|| ClientError::Protocol("manifest parse".into()))?;
-                let digest = resp
-                    .header("docker-content-digest")
-                    .and_then(Digest::parse)
-                    .unwrap_or_else(|| manifest.digest());
-                Ok((digest, manifest))
+                // A well-formed server only sends bytes that parse and
+                // hash to the advertised digest — anything else means the
+                // body was damaged in flight. The content digest covers
+                // the *raw bytes on the wire* (as Docker's does), so even
+                // a flip that JSON canonicalization would erase is caught.
+                let wire_digest = Digest::of(&resp.body);
+                if let Some(advertised) = resp.header("docker-content-digest").and_then(Digest::parse)
+                {
+                    if advertised != wire_digest {
+                        return Err(ClientError::CorruptManifest);
+                    }
+                }
+                let Some(manifest) =
+                    std::str::from_utf8(&resp.body).ok().and_then(Manifest::from_json)
+                else {
+                    return Err(ClientError::CorruptManifest);
+                };
+                Ok((wire_digest, manifest))
             }
             404 => Err(ClientError::NotFound),
+            429 => Err(ClientError::RateLimited),
+            s if s >= 500 => Err(ClientError::Unavailable),
             s => Err(ClientError::Protocol(format!("manifest -> {s}"))),
         }
     }
 
-    /// Fetches a blob and verifies its digest.
+    /// Fetches a blob, retrying transient failures, and verifies that the
+    /// bytes hash to the requested digest (re-fetching on mismatch).
     pub fn get_blob(&self, repo: &RepoName, digest: &Digest) -> Result<Vec<u8>, ClientError> {
+        let key = fault_key(digest.to_docker_string().as_bytes());
+        self.retrying(key, || self.get_blob_once(repo, digest))
+    }
+
+    fn get_blob_once(&self, repo: &RepoName, digest: &Digest) -> Result<Vec<u8>, ClientError> {
         let resp = self.get(&format!("/v2/{}/blobs/{digest}", repo.full()))?;
         match resp.status {
             200 => {
                 if Digest::of(&resp.body) != *digest {
-                    return Err(ClientError::Protocol("blob digest mismatch".into()));
+                    return Err(ClientError::CorruptBlob);
                 }
                 Ok(resp.body)
             }
             404 => Err(ClientError::NotFound),
+            429 => Err(ClientError::RateLimited),
+            s if s >= 500 => Err(ClientError::Unavailable),
             s => Err(ClientError::Protocol(format!("blob -> {s}"))),
         }
     }
 
-    /// Lists a repository's tags.
+    /// Lists a repository's tags, retrying transient failures.
     pub fn tags(&self, repo: &RepoName) -> Result<Vec<String>, ClientError> {
+        let key = fault_key(format!("{}/tags", repo.full()).as_bytes());
+        self.retrying(key, || self.tags_once(repo))
+    }
+
+    fn tags_once(&self, repo: &RepoName) -> Result<Vec<String>, ClientError> {
         let resp = self.get(&format!("/v2/{}/tags/list", repo.full()))?;
         match resp.status {
             200 => {
@@ -178,6 +337,8 @@ impl RemoteRegistry {
                 Ok(tags)
             }
             404 => Err(ClientError::NotFound),
+            429 => Err(ClientError::RateLimited),
+            s if s >= 500 => Err(ClientError::Unavailable),
             s => Err(ClientError::Protocol(format!("tags -> {s}"))),
         }
     }
@@ -274,6 +435,75 @@ mod tests {
         let client = RemoteRegistry::connect(srv.addr());
         let tags = client.tags(&RepoName::official("nginx")).unwrap();
         assert_eq!(tags, vec!["latest"]);
+        srv.shutdown();
+    }
+
+    use dhub_faults::{FaultConfig, FaultInjector, FaultKind, ALL_FAULT_KINDS};
+
+    fn faulty_server(cfg: FaultConfig) -> (RegistryServer, Arc<FaultInjector>) {
+        let reg = Arc::new(Registry::new());
+        let blob = b"http layer payload".to_vec();
+        let repo = RepoName::official("nginx");
+        reg.create_repo(repo.clone(), false);
+        let manifest =
+            Manifest::new(vec![LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 }]);
+        reg.push_image(&repo, "latest", &manifest, vec![blob]).unwrap();
+        let inj = Arc::new(FaultInjector::new(cfg));
+        (RegistryServer::start_with_faults(reg, Some(inj.clone())).unwrap(), inj)
+    }
+
+    #[test]
+    fn transient_faults_are_retried_away() {
+        // Half the requests fault (drops, 429s, 5xxs, truncations, bit
+        // flips); a patient client still pulls a byte-identical image.
+        let (srv, inj) = faulty_server(FaultConfig::uniform(2024, 0.5));
+        let client = RemoteRegistry::connect_anonymous(srv.addr())
+            .with_retry_policy(RetryPolicy::fast(16).with_seed(7));
+        let repo = RepoName::official("nginx");
+        let (digest, manifest) = client.get_manifest(&repo, "latest").unwrap();
+        assert_eq!(digest, manifest.digest());
+        let blob = client.get_blob(&repo, &manifest.layers[0].digest).unwrap();
+        assert_eq!(blob, b"http layer payload");
+        let stats = client.retry_stats();
+        assert!(stats.retries > 0, "rate 0.5 must have forced at least one retry");
+        assert_eq!(stats.gave_up, 0);
+        assert!(inj.stats().total() > 0);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn no_retry_policy_surfaces_the_fault() {
+        let cfg = ALL_FAULT_KINDS.iter().fold(FaultConfig::uniform(5, 1.0), |c, &k| {
+            c.with_weight(k, u32::from(k == FaultKind::RateLimit))
+        });
+        let (srv, _inj) = faulty_server(cfg);
+        let client =
+            RemoteRegistry::connect_anonymous(srv.addr()).with_retry_policy(RetryPolicy::none());
+        let repo = RepoName::official("nginx");
+        assert!(matches!(client.get_manifest(&repo, "latest"), Err(ClientError::RateLimited)));
+        assert_eq!(client.retry_stats().gave_up, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn corruption_is_detected_and_counted() {
+        // Every response bit-flipped: digest verification must catch each
+        // one, and the client gives up only after exhausting its budget.
+        let cfg = ALL_FAULT_KINDS.iter().fold(FaultConfig::uniform(9, 1.0), |c, &k| {
+            c.with_weight(k, u32::from(k == FaultKind::Corrupt))
+        });
+        let (srv, _inj) = faulty_server(cfg);
+        let client = RemoteRegistry::connect_anonymous(srv.addr())
+            .with_retry_policy(RetryPolicy::fast(2).with_seed(3));
+        let repo = RepoName::official("nginx");
+        assert!(matches!(
+            client.get_manifest(&repo, "latest"),
+            Err(ClientError::CorruptManifest)
+        ));
+        let stats = client.retry_stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.corrupt_retries, 2);
+        assert_eq!(stats.gave_up, 1);
         srv.shutdown();
     }
 

@@ -11,6 +11,7 @@
 
 use crate::api::{ApiError, Registry};
 use crate::http::wire::{read_request, Request, Response, WireError};
+use dhub_faults::{fault_key, FaultInjector, FaultKind, FaultOp};
 use dhub_json::Json;
 use dhub_model::{Digest, RepoName};
 use std::io::Write as _;
@@ -32,6 +33,16 @@ pub const DEMO_TOKEN: &str = "dhub-demo-token";
 impl RegistryServer {
     /// Binds to `127.0.0.1:0` (ephemeral port) and starts serving.
     pub fn start(registry: Arc<Registry>) -> std::io::Result<RegistryServer> {
+        RegistryServer::start_with_faults(registry, None)
+    }
+
+    /// Like [`RegistryServer::start`], but every request consults the
+    /// fault injector first: connections drop, 429/5xx fire, tokens flap,
+    /// bodies truncate or flip bits — deterministically, per the plan.
+    pub fn start_with_faults(
+        registry: Arc<Registry>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<RegistryServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -44,11 +55,12 @@ impl RegistryServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let reg = registry.clone();
+                            let inj = faults.clone();
                             // Thread-per-connection: plenty for the study's
                             // bounded worker crews.
                             let _ = std::thread::Builder::new()
                                 .name("dhub-registry-conn".into())
-                                .spawn(move || handle_connection(stream, reg));
+                                .spawn(move || handle_connection(stream, reg, inj));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(std::time::Duration::from_millis(2));
@@ -84,7 +96,22 @@ impl Drop for RegistryServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, registry: Arc<Registry>) {
+/// How one routed request leaves the connection.
+enum Routed {
+    /// Normal response.
+    Respond(Response),
+    /// Injected truncation: write the response's headers with the full
+    /// content-length but only `keep` body bytes, then close.
+    RespondTruncated(Response, usize),
+    /// Injected connection drop: close without responding.
+    Drop,
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: Arc<Registry>,
+    faults: Option<Arc<FaultInjector>>,
+) {
     // Keep-alive: serve requests until the peer closes or errs.
     loop {
         let request = match read_request(&mut stream) {
@@ -95,7 +122,14 @@ fn handle_connection(mut stream: TcpStream, registry: Arc<Registry>) {
                 return;
             }
         };
-        let response = route(&request, &registry);
+        let response = match route_faulty(&request, &registry, faults.as_deref()) {
+            Routed::Respond(r) => r,
+            Routed::RespondTruncated(r, keep) => {
+                let _ = r.write_truncated_to(&mut stream, keep);
+                return; // mid-transfer cut: connection dies with the body
+            }
+            Routed::Drop => return,
+        };
         if response.write_to(&mut stream).is_err() {
             return;
         }
@@ -159,6 +193,80 @@ fn route(req: &Request, registry: &Registry) -> Response {
         return tags_endpoint(registry, name.trim_end_matches('/'), authed(req));
     }
     json_error(404, "NOT_FOUND")
+}
+
+/// Which fault operation an HTTP path belongs to, or `None` for paths the
+/// fault plan never touches (version check, unknown routes).
+fn http_fault_op(path: &str) -> Option<FaultOp> {
+    if path == "/token" {
+        return Some(FaultOp::Token);
+    }
+    let rest = path.strip_prefix("/v2/")?;
+    if rest.contains("/manifests/") {
+        Some(FaultOp::Manifest)
+    } else if rest.contains("/blobs/") {
+        Some(FaultOp::Blob)
+    } else if rest.ends_with("/tags/list") {
+        Some(FaultOp::Search)
+    } else {
+        None
+    }
+}
+
+/// Routes one request through the fault plan: transport faults (drop,
+/// 429/503, auth flap, slow link) fire before the registry is consulted;
+/// body damage (truncate, bit flip) is applied to successful responses.
+fn route_faulty(req: &Request, registry: &Registry, faults: Option<&FaultInjector>) -> Routed {
+    let Some(inj) = faults else { return Routed::Respond(route(req, registry)) };
+    let path = req.target.split('?').next().unwrap_or("");
+    let Some(op) = http_fault_op(path) else { return Routed::Respond(route(req, registry)) };
+
+    let mut allowed = vec![
+        FaultKind::Drop,
+        FaultKind::RateLimit,
+        FaultKind::ServerError,
+        FaultKind::SlowLink,
+    ];
+    if req.header("authorization").is_some() {
+        // Token expiry mid-crawl: only a client that presented credentials
+        // can watch them flap. Anonymous pulls (the study's default) are
+        // never told to re-authenticate by this fault.
+        allowed.push(FaultKind::AuthFlap);
+    }
+    if matches!(op, FaultOp::Manifest | FaultOp::Blob) {
+        allowed.push(FaultKind::Truncate);
+        allowed.push(FaultKind::Corrupt);
+    }
+
+    let key = fault_key(path.as_bytes());
+    match inj.decide(op, key, &allowed) {
+        None => Routed::Respond(route(req, registry)),
+        Some(FaultKind::Drop) => Routed::Drop,
+        Some(FaultKind::RateLimit) => Routed::Respond(json_error(429, "TOOMANYREQUESTS")),
+        Some(FaultKind::ServerError) => Routed::Respond(json_error(503, "UNAVAILABLE")),
+        Some(FaultKind::AuthFlap) => Routed::Respond(challenge(json_error(401, "UNAUTHORIZED"))),
+        Some(FaultKind::SlowLink) => {
+            std::thread::sleep(inj.slow_link());
+            Routed::Respond(route(req, registry))
+        }
+        Some(FaultKind::Truncate) => {
+            let resp = route(req, registry);
+            if resp.status == 200 && !resp.body.is_empty() {
+                let keep = (key as usize) % resp.body.len();
+                Routed::RespondTruncated(resp, keep)
+            } else {
+                Routed::Respond(resp)
+            }
+        }
+        Some(FaultKind::Corrupt) => {
+            let mut resp = route(req, registry);
+            if resp.status == 200 && !resp.body.is_empty() {
+                let bit = (key as usize) % (resp.body.len() * 8);
+                resp.body[bit / 8] ^= 1 << (bit % 8);
+            }
+            Routed::Respond(resp)
+        }
+    }
 }
 
 fn challenge(resp: Response) -> Response {
@@ -332,5 +440,86 @@ mod tests {
         assert_eq!(resp.status, 200);
         let text = std::str::from_utf8(&resp.body).unwrap();
         assert!(text.contains("latest"), "{text}");
+    }
+
+    use dhub_faults::{FaultConfig, ALL_FAULT_KINDS};
+
+    /// An injector that always fires `kind` (and nothing else).
+    fn only(kind: FaultKind) -> FaultInjector {
+        let mut cfg = FaultConfig::uniform(7, 1.0);
+        for k in ALL_FAULT_KINDS {
+            cfg = cfg.with_weight(k, if k == kind { 1 } else { 0 });
+        }
+        FaultInjector::new(cfg)
+    }
+
+    #[test]
+    fn injected_rate_limit_then_drop() {
+        let reg = test_registry();
+        let req = Request::get("/v2/nginx/manifests/latest");
+        match route_faulty(&req, &reg, Some(&only(FaultKind::RateLimit))) {
+            Routed::Respond(r) => assert_eq!(r.status, 429),
+            _ => panic!("expected a 429 response"),
+        }
+        assert!(matches!(
+            route_faulty(&req, &reg, Some(&only(FaultKind::Drop))),
+            Routed::Drop
+        ));
+    }
+
+    #[test]
+    fn injected_truncation_keeps_prefix_only() {
+        let reg = test_registry();
+        let req = Request::get("/v2/nginx/manifests/latest");
+        match route_faulty(&req, &reg, Some(&only(FaultKind::Truncate))) {
+            Routed::RespondTruncated(r, keep) => {
+                assert_eq!(r.status, 200);
+                assert!(keep < r.body.len());
+            }
+            _ => panic!("expected a truncated response"),
+        }
+    }
+
+    #[test]
+    fn injected_corruption_flips_one_bit() {
+        let reg = test_registry();
+        let req = Request::get("/v2/nginx/manifests/latest");
+        let clean = roundtrip(&req, &reg);
+        match route_faulty(&req, &reg, Some(&only(FaultKind::Corrupt))) {
+            Routed::Respond(r) => {
+                assert_eq!(r.status, 200);
+                assert_ne!(r.body, clean.body);
+                let flipped: u32 = r
+                    .body
+                    .iter()
+                    .zip(&clean.body)
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(flipped, 1);
+            }
+            _ => panic!("expected a corrupted response"),
+        }
+    }
+
+    #[test]
+    fn auth_flap_spares_anonymous_requests() {
+        let reg = test_registry();
+        let inj = only(FaultKind::AuthFlap);
+        // Anonymous request: AuthFlap is not in the allowed set, every other
+        // weight is zero, so no fault fires at all.
+        let req = Request::get("/v2/nginx/manifests/latest");
+        match route_faulty(&req, &reg, Some(&inj)) {
+            Routed::Respond(r) => assert_eq!(r.status, 200),
+            _ => panic!("anonymous request must not fault"),
+        }
+        // The same request with credentials gets a re-auth challenge.
+        let req = req.with_header("authorization", &format!("Bearer {DEMO_TOKEN}"));
+        match route_faulty(&req, &reg, Some(&inj)) {
+            Routed::Respond(r) => {
+                assert_eq!(r.status, 401);
+                assert!(r.header("www-authenticate").unwrap().contains("Bearer"));
+            }
+            _ => panic!("credentialed request should see the flap"),
+        }
     }
 }

@@ -97,6 +97,9 @@ impl Response {
             404 => "Not Found",
             400 => "Bad Request",
             405 => "Method Not Allowed",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Response",
         };
         Response { status, reason: reason.into(), headers: Vec::new(), body }
@@ -122,6 +125,20 @@ impl Response {
         }
         write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
         w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Serializes a *lying* response: headers promise the full body
+    /// (`content-length: body.len()`) but only the first `keep` bytes are
+    /// written. The fault-injecting server uses this to model a connection
+    /// cut mid-transfer; readers see [`WireError::UnexpectedEof`].
+    pub fn write_truncated_to(&self, w: &mut impl Write, keep: usize) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
+        for (n, v) in &self.headers {
+            write!(w, "{n}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body[..keep.min(self.body.len())])?;
         w.flush()
     }
 }
@@ -300,6 +317,14 @@ mod tests {
         raw.extend(std::iter::repeat_n(b'a', 64 * 1024));
         raw.extend_from_slice(b"\r\n\r\n");
         assert!(matches!(read_request(&mut raw.as_slice()), Err(WireError::TooLarge)));
+    }
+
+    #[test]
+    fn truncated_write_reads_as_eof() {
+        let resp = Response::new(200, vec![7u8; 1000]);
+        let mut buf = Vec::new();
+        resp.write_truncated_to(&mut buf, 300).unwrap();
+        assert!(matches!(read_response(&mut buf.as_slice()), Err(WireError::UnexpectedEof)));
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub fn table1(data: &StudyData) -> FigureReport {
         format!("  - no latest tag           : {}", data.download.failed_no_latest),
         format!("unique compressed layers    : {}", data.download.unique_layers),
         format!("layer fetches skipped (dedup): {}", data.download.layer_fetches_skipped),
+        format!("transient retries           : {}", data.download.retries),
+        format!("  - digest-verify refetches : {}", data.download.corrupt_retries),
+        format!("retry give-ups              : {}", data.download.gave_up),
         format!("files analyzed              : {total_files}"),
         format!(
             "compressed bytes (paper-scale): {:.1} GB",

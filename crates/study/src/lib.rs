@@ -12,5 +12,5 @@ pub mod pipeline;
 pub mod report;
 pub mod versions;
 
-pub use pipeline::{run_study, StudyData};
+pub use pipeline::{run_study, run_study_streaming, run_study_streaming_with, run_study_with, StudyData};
 pub use report::{Anchor, FigureReport};

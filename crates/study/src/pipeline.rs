@@ -1,10 +1,11 @@
 //! The crawl → download → analyze pipeline (§III).
 
 use dhub_analyzer::{analyze_all, image_profiles, ImageInput};
-use dhub_crawler::{crawl, CrawlReport};
+use dhub_crawler::{crawl_with, CrawlReport};
 use dhub_dedup::ImageLayers;
 use dhub_digest::FxHashMap;
-use dhub_downloader::{download_all, DownloadReport};
+use dhub_downloader::{download_all_with, DownloadReport};
+use dhub_faults::RetryPolicy;
 use dhub_model::{Digest, ImageProfile, LayerProfile, RepoName};
 use dhub_registry::NetworkModel;
 use dhub_synth::SyntheticHub;
@@ -47,15 +48,23 @@ impl StudyData {
 
 /// Runs the full measurement pipeline against a synthetic hub.
 pub fn run_study(hub: &SyntheticHub, threads: usize) -> StudyData {
+    run_study_with(hub, threads, &RetryPolicy::default())
+}
+
+/// [`run_study`] with an explicit retry policy. Faults come from the
+/// injector attached to `hub.registry` (if any) — the crawl consults the
+/// same injector for its search pages.
+pub fn run_study_with(hub: &SyntheticHub, threads: usize, policy: &RetryPolicy) -> StudyData {
     // §III-A: crawl. The official list is public knowledge (the paper
     // hardcodes the <200 official repositories).
     let officials: Vec<RepoName> =
         hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
-    let crawl_result = crawl(&hub.search, &officials);
+    let injector = hub.registry.fault_injector();
+    let crawl_result = crawl_with(&hub.search, &officials, injector.as_deref(), policy);
 
     // §III-B: download latest images, unique layers only.
     let net = NetworkModel::wan();
-    let dl = download_all(&hub.registry, &crawl_result.repos, threads, &net);
+    let dl = download_all_with(&hub.registry, &crawl_result.repos, threads, &net, policy);
 
     // §III-C: analyze layers, then aggregate image profiles.
     let analysis = analyze_all(&dl.layers, threads);
@@ -101,31 +110,46 @@ pub fn run_study(hub: &SyntheticHub, threads: usize) -> StudyData {
 /// the whole dataset. This is the shape a paper-scale (47 TB) run needs;
 /// results are identical to the batch path.
 pub fn run_study_streaming(hub: &SyntheticHub, threads: usize) -> StudyData {
-    use dhub_downloader::DownloadedImage;
+    run_study_streaming_with(hub, threads, &RetryPolicy::default())
+}
+
+/// [`run_study_streaming`] with an explicit retry policy, sharing the
+/// batch path's retry helpers stage-side.
+pub fn run_study_streaming_with(
+    hub: &SyntheticHub,
+    threads: usize,
+    policy: &RetryPolicy,
+) -> StudyData {
+    use dhub_downloader::{get_blob_verified, get_manifest_with_retry, DownloadedImage, RetryCounters};
     use dhub_par::pipeline::{sink, source, stage};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc as SArc;
 
     let officials: Vec<RepoName> =
         hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
-    let crawl_result = crawl(&hub.search, &officials);
+    let injector = hub.registry.fault_injector();
+    let crawl_result = crawl_with(&hub.search, &officials, injector.as_deref(), policy);
 
     // Stage 1 (network-bound): resolve manifests + fetch unique layers.
     let registry = hub.registry.clone();
     let fetched: SArc<dhub_par::ShardedMap<Digest, ()>> = SArc::new(dhub_par::ShardedMap::new(64));
     let auth = SArc::new(AtomicU64::new(0));
     let no_latest = SArc::new(AtomicU64::new(0));
+    let other = SArc::new(AtomicU64::new(0));
     let bytes = SArc::new(AtomicU64::new(0));
     let skipped = SArc::new(AtomicU64::new(0));
+    let counters = SArc::new(RetryCounters::new());
 
     let repo_rx = source(crawl_result.repos.clone(), 64);
     let dl_registry = registry.clone();
     let dl_fetched = fetched.clone();
-    let (dl_auth, dl_nolatest, dl_bytes, dl_skipped) =
-        (auth.clone(), no_latest.clone(), bytes.clone(), skipped.clone());
+    let dl_counters = counters.clone();
+    let dl_policy = *policy;
+    let (dl_auth, dl_nolatest, dl_other, dl_bytes, dl_skipped) =
+        (auth.clone(), no_latest.clone(), other.clone(), bytes.clone(), skipped.clone());
     type DlItem = (DownloadedImage, Vec<(Digest, std::sync::Arc<Vec<u8>>)>);
     let dl_rx = stage(repo_rx, threads.max(2), 32, move |repo: RepoName| -> Option<DlItem> {
-        match dl_registry.get_manifest(&repo, "latest", false) {
+        match get_manifest_with_retry(&dl_registry, &repo, "latest", &dl_policy, &dl_counters) {
             Err(dhub_registry::ApiError::AuthRequired) => {
                 dl_auth.fetch_add(1, Ordering::Relaxed);
                 None
@@ -134,18 +158,31 @@ pub fn run_study_streaming(hub: &SyntheticHub, threads: usize) -> StudyData {
                 dl_nolatest.fetch_add(1, Ordering::Relaxed);
                 None
             }
-            Err(_) => None,
+            Err(_) => {
+                dl_other.fetch_add(1, Ordering::Relaxed);
+                None
+            }
             Ok(sess) => {
                 let mut blobs = Vec::new();
                 for l in &sess.manifest.layers {
                     // First inserter claims the digest (atomic per shard).
                     let claimed = dl_fetched.insert(l.digest, ()).is_none();
-                    if claimed {
-                        let blob = dl_registry.get_blob(&l.digest).expect("manifest refs exist");
-                        dl_bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
-                        blobs.push((l.digest, blob));
-                    } else {
+                    if !claimed {
                         dl_skipped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    match get_blob_verified(&dl_registry, &l.digest, &dl_policy, &dl_counters) {
+                        Ok(blob) => {
+                            dl_bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                            blobs.push((l.digest, blob));
+                        }
+                        Err(_) => {
+                            // Image incomplete: classify and drop it (its
+                            // other layers stay — another image may share
+                            // them).
+                            dl_other.fetch_add(1, Ordering::Relaxed);
+                            return None;
+                        }
                     }
                 }
                 Some((
@@ -211,7 +248,10 @@ pub fn run_study_streaming(hub: &SyntheticHub, threads: usize) -> StudyData {
             layer_fetches_skipped: skipped.load(Ordering::Relaxed),
             failed_auth: auth.load(Ordering::Relaxed) as usize,
             failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
-            failed_other: 0,
+            failed_other: other.load(Ordering::Relaxed) as usize,
+            retries: counters.retries(),
+            gave_up: counters.gave_up(),
+            corrupt_retries: counters.corrupt_retries(),
             simulated_transfer: std::time::Duration::ZERO,
         },
         layers,

@@ -43,7 +43,7 @@ pub mod lock;
 pub mod striped;
 pub mod waitgroup;
 
-pub use backoff::Backoff;
+pub use backoff::{Backoff, DelayBackoff};
 pub use channel::{bounded, unbounded, Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
 pub use crew::work_crew;
 pub use lock::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -23,6 +23,22 @@ for c in "${PROP_CRATES[@]}"; do
     cargo test -q --offline -p "dhub-$c" --features proptest --test props
 done
 
+# dhub-faults carries proptest as a regular dependency (its fault stream IS
+# a seeded RNG), so its property suite needs no feature flag.
+echo "==> prop tests: dhub-faults"
+cargo test -q --offline -p dhub-faults --test props
+
+# Replayability is part of the contract: one property suite re-run under a
+# pinned PROPTEST_SEED must pass identically.
+echo "==> prop test replay: dhub-faults under pinned PROPTEST_SEED"
+PROPTEST_SEED=0x00000000002a2a2a \
+    cargo test -q --offline -p dhub-faults --test props
+
+# The chaos suite: full crawl→download pipeline under deterministic fault
+# injection, asserting byte-identical datasets with retries on.
+echo "==> chaos suite: tests/chaos.rs"
+cargo test -q --offline -p dhub-study --test chaos
+
 echo "==> dependency audit"
 # No references to the removed external crates anywhere in crate sources.
 if grep -rn "crossbeam\|parking_lot" crates/*/src; then
