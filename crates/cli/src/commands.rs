@@ -90,6 +90,10 @@ fn study_for(
     }
     let data = run_study_with(&hub, threads(args)?, &policy);
     if let Some(inj) = &injector {
+        // The study is over: detach the injector so post-study consumers
+        // (version analysis, dedup-store ingest) read the registry clean
+        // instead of re-experiencing transient faults or damaged bytes.
+        hub.registry.set_fault_injector(None);
         writeln!(out, "faults fired: {}", inj.stats().total())?;
     }
     Ok((hub, data))
@@ -373,6 +377,23 @@ mod tests {
             run_cmd(&["summary", "--repos", "20", "--seed", "5", "--scale", "1024", "--threads", "2"]);
         assert_eq!(code, 0, "{out}");
         assert!(!out.contains("fault injection"), "{out}");
+    }
+
+    #[test]
+    fn store_under_faults_matches_clean_ingest() {
+        // The injector is detached once the study finishes, so the store
+        // ingest re-reads every layer clean: no panic on transient faults,
+        // no corrupted bytes skewing the dedup stats.
+        let base = ["store", "--repos", "20", "--seed", "5", "--scale", "1024", "--threads", "2"];
+        let (code, clean) = run_cmd(&base);
+        assert_eq!(code, 0, "{clean}");
+        let mut argv = base.to_vec();
+        argv.extend(["--fault-rate", "0.3", "--fault-seed", "7", "--max-retries", "16"]);
+        let (code, faulty) = run_cmd(&argv);
+        assert_eq!(code, 0, "{faulty}");
+        assert!(faulty.contains("faults fired:"), "{faulty}");
+        let stats = |s: &str| s.lines().rev().take(5).map(String::from).collect::<Vec<_>>();
+        assert_eq!(stats(&faulty), stats(&clean), "dedup stats diverged under faults");
     }
 
     #[test]

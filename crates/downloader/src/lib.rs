@@ -246,7 +246,6 @@ pub fn download_all_with(
             }
             Ok(sess) => {
                 sim_nanos.fetch_add(net.transfer_time(1024).as_nanos() as u64, Ordering::Relaxed);
-                let mut image_ok = true;
                 for layer in &sess.manifest.layers {
                     // Claim the digest first so exactly one worker fetches it.
                     let mut claimed = false;
@@ -272,19 +271,17 @@ pub fn download_all_with(
                         }
                         Err(_) => {
                             failed_digests.lock().insert(layer.digest);
-                            image_ok = false;
                         }
                     }
                 }
-                if image_ok {
-                    images.lock().push(DownloadedImage {
-                        repo: repo.clone(),
-                        manifest_digest: sess.manifest_digest,
-                        manifest: sess.manifest,
-                    });
-                } else {
-                    other.fetch_add(1, Ordering::Relaxed);
-                }
+                // Push unconditionally; images referencing an abandoned
+                // digest are reclassified after the loop, by manifest
+                // contents rather than by who won the claim race.
+                images.lock().push(DownloadedImage {
+                    repo: repo.clone(),
+                    manifest_digest: sess.manifest_digest,
+                    manifest: sess.manifest,
+                });
             }
         }
     });
@@ -297,6 +294,16 @@ pub fn download_all_with(
         .map(|(d, blob)| (d, blob.expect("claimed blobs are filled")))
         .collect();
     let mut images = images.into_inner();
+    // Every image whose manifest references a failed digest is incomplete
+    // — including those that skipped the fetch because another worker held
+    // the claim. Classifying here keeps the taxonomy independent of thread
+    // interleaving under gave-up conditions.
+    let mut failed_images = 0usize;
+    images.retain(|img| {
+        let complete = img.manifest.layers.iter().all(|l| !failed_digests.contains(&l.digest));
+        failed_images += usize::from(!complete);
+        complete
+    });
     images.sort_by(|a, b| a.repo.cmp(&b.repo));
 
     let report = DownloadReport {
@@ -306,7 +313,7 @@ pub fn download_all_with(
         layer_fetches_skipped: skipped.load(Ordering::Relaxed),
         failed_auth: auth.load(Ordering::Relaxed) as usize,
         failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
-        failed_other: other.load(Ordering::Relaxed) as usize,
+        failed_other: other.load(Ordering::Relaxed) as usize + failed_images,
         retries: counters.retries.load(Ordering::Relaxed),
         gave_up: counters.gave_up.load(Ordering::Relaxed),
         corrupt_retries: counters.corrupt_retries.load(Ordering::Relaxed),
@@ -366,7 +373,6 @@ pub fn download_all_http_with(
                 other.fetch_add(1, Ordering::Relaxed);
             }
             Ok((manifest_digest, manifest)) => {
-                let mut image_ok = true;
                 for layer in &manifest.layers {
                     let mut claimed = false;
                     fetched.update(layer.digest, |slot| {
@@ -389,19 +395,15 @@ pub fn download_all_http_with(
                         }
                         Err(_) => {
                             failed_digests.lock().insert(layer.digest);
-                            image_ok = false;
                         }
                     }
                 }
-                if image_ok {
-                    images.lock().push(DownloadedImage {
-                        repo: repo.clone(),
-                        manifest_digest,
-                        manifest,
-                    });
-                } else {
-                    other.fetch_add(1, Ordering::Relaxed);
-                }
+                // Reclassified below if any referenced digest failed.
+                images.lock().push(DownloadedImage {
+                    repo: repo.clone(),
+                    manifest_digest,
+                    manifest,
+                });
             }
         }
         let stats = client.retry_stats();
@@ -418,6 +420,13 @@ pub fn download_all_http_with(
         .map(|(d, blob)| (d, blob.expect("claimed blobs are filled")))
         .collect();
     let mut images = images.into_inner();
+    // Same interleaving-independent reclassification as download_all_with.
+    let mut failed_images = 0usize;
+    images.retain(|img| {
+        let complete = img.manifest.layers.iter().all(|l| !failed_digests.contains(&l.digest));
+        failed_images += usize::from(!complete);
+        complete
+    });
     images.sort_by(|a, b| a.repo.cmp(&b.repo));
 
     let report = DownloadReport {
@@ -427,7 +436,7 @@ pub fn download_all_http_with(
         layer_fetches_skipped: skipped.load(Ordering::Relaxed),
         failed_auth: auth.load(Ordering::Relaxed) as usize,
         failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
-        failed_other: other.load(Ordering::Relaxed) as usize,
+        failed_other: other.load(Ordering::Relaxed) as usize + failed_images,
         retries: counters.retries.load(Ordering::Relaxed),
         gave_up: counters.gave_up.load(Ordering::Relaxed),
         corrupt_retries: counters.corrupt_retries.load(Ordering::Relaxed),
@@ -606,6 +615,37 @@ mod tests {
         assert_eq!(res.report.gave_up, 2);
         assert!(res.layers.is_empty());
         assert_eq!(res.report.unique_layers, 0);
+    }
+
+    #[test]
+    fn shared_failed_layer_fails_every_referencing_image() {
+        // Twenty images share one layer whose fetch always fails: every
+        // one of them is incomplete, not just the worker that happened to
+        // win the claim race. The taxonomy must say so deterministically.
+        let shared = b"doomed base layer".as_slice();
+        let reg = Registry::new();
+        let mut names = Vec::new();
+        for i in 0..20 {
+            let repo = RepoName::parse(&format!("u/app{i}")).unwrap();
+            reg.create_repo(repo.clone(), false);
+            let blob = shared.to_vec();
+            let manifest =
+                Manifest::new(vec![LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 }]);
+            reg.push_image(&repo, "latest", &manifest, vec![blob]).unwrap();
+            names.push(repo);
+        }
+        let cfg = ALL_FAULT_KINDS
+            .iter()
+            .fold(FaultConfig::off().with_rate(dhub_faults::FaultOp::Blob, 1.0), |c, &k| {
+                c.with_weight(k, u32::from(k == FaultKind::Corrupt))
+            });
+        reg.set_fault_injector(Some(Arc::new(FaultInjector::new(cfg))));
+        let res =
+            download_all_with(&reg, &names, 4, &NetworkModel::datacenter(), &RetryPolicy::none());
+        assert_eq!(res.report.images_downloaded, 0);
+        assert_eq!(res.report.failed_other, 20, "every referencing image must fail");
+        assert_eq!(res.report.gave_up, 1, "the one claimed fetch exhausted its budget");
+        assert!(res.layers.is_empty());
     }
 }
 

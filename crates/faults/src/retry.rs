@@ -126,9 +126,18 @@ impl RetryPolicy {
             .collect()
     }
 
-    /// Sleeps the schedule's delay before retry `attempt` of `key`.
+    /// The realized delay before retry `attempt` of `key` — the raw
+    /// jittered [`RetryPolicy::delay`] clamped so it never undercuts an
+    /// earlier step, i.e. `schedule(key)[attempt]` without allocating.
+    pub fn scheduled_delay(&self, key: u64, attempt: u32) -> Duration {
+        (0..=attempt).map(|a| self.delay(key, a)).max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Sleeps the monotone schedule's delay before retry `attempt` of
+    /// `key` (the struct-level monotonicity guarantee holds for the delays
+    /// actually slept, not just for [`RetryPolicy::schedule`]).
     pub fn sleep(&self, key: u64, attempt: u32) {
-        let d = self.delay(key, attempt);
+        let d = self.scheduled_delay(key, attempt);
         if !d.is_zero() {
             std::thread::sleep(d);
         }
@@ -179,6 +188,18 @@ mod tests {
         let p = RetryPolicy::new(5).with_jitter(0.0);
         for a in 0..5 {
             assert_eq!(p.delay(9, a), DelayBackoff::new(p.base, p.cap).delay(a));
+        }
+    }
+
+    #[test]
+    fn sleep_delay_matches_monotone_schedule() {
+        // sleep() must realize schedule(), not the un-clamped delay().
+        let p = RetryPolicy::new(10).with_seed(99).with_jitter(0.5);
+        for key in [7u64, 42, 1001] {
+            let s = p.schedule(key);
+            for (a, d) in s.iter().enumerate() {
+                assert_eq!(p.scheduled_delay(key, a as u32), *d);
+            }
         }
     }
 

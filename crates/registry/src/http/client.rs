@@ -29,6 +29,10 @@ pub enum ClientError {
     CorruptManifest,
     /// Blob bytes do not hash to the digest they were requested by.
     CorruptBlob,
+    /// 401 served to a request carrying a freshly issued token — the auth
+    /// state flapped server-side (mid-crawl token expiry), which is a
+    /// transport hiccup, not an auth verdict about the repository.
+    TokenFlap,
     /// Anything else unexpected.
     Protocol(String),
 }
@@ -44,7 +48,8 @@ impl ClientError {
             | ClientError::RateLimited
             | ClientError::Unavailable
             | ClientError::CorruptManifest
-            | ClientError::CorruptBlob => RetryClass::Retryable,
+            | ClientError::CorruptBlob
+            | ClientError::TokenFlap => RetryClass::Retryable,
             ClientError::AuthRequired | ClientError::NotFound | ClientError::Protocol(_) => {
                 RetryClass::Terminal
             }
@@ -72,6 +77,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Unavailable => f.write_str("server unavailable (5xx)"),
             ClientError::CorruptManifest => f.write_str("manifest failed digest verification"),
             ClientError::CorruptBlob => f.write_str("blob failed digest verification"),
+            ClientError::TokenFlap => f.write_str("fresh token rejected (auth flap)"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
         }
     }
@@ -187,9 +193,15 @@ impl RemoteRegistry {
         }
     }
 
-    fn send(&self, mut req: Request) -> Result<Response, ClientError> {
-        if let Some(tok) = self.token.lock().clone() {
-            req = req.with_header("authorization", &format!("Bearer {tok}"));
+    fn send(&self, req: Request) -> Result<Response, ClientError> {
+        self.send_with_token(req, true)
+    }
+
+    fn send_with_token(&self, mut req: Request, attach_token: bool) -> Result<Response, ClientError> {
+        if attach_token {
+            if let Some(tok) = self.token.lock().clone() {
+                req = req.with_header("authorization", &format!("Bearer {tok}"));
+            }
         }
         let mut stream = TcpStream::connect(self.addr)?;
         req = req.with_header("connection", "close");
@@ -216,7 +228,10 @@ impl RemoteRegistry {
             .and_then(|r| r.split('"').next())
             .ok_or_else(|| ClientError::Protocol("challenge without realm".into()))?
             .to_string();
-        let tok_resp = self.send(Request::get(&realm))?;
+        // The realm request is unauthenticated: a stale Bearer is not a
+        // credential for the token service, and sending one would let an
+        // auth flap masquerade as a terminal 401 from the token endpoint.
+        let tok_resp = self.send_with_token(Request::get(&realm), false)?;
         match tok_resp.status {
             200 => {}
             // A flaky token endpoint is a transport problem, not an auth
@@ -234,7 +249,11 @@ impl RemoteRegistry {
         *self.token.lock() = Some(token);
         let retry = self.send(Request::get(target))?;
         if retry.status == 401 {
-            return Err(ClientError::AuthRequired);
+            // The token we just minted was rejected — a transient auth
+            // flap, not proof the repository is walled off. Discard the
+            // token and let the retry loop run the dance again.
+            *self.token.lock() = None;
+            return Err(ClientError::TokenFlap);
         }
         Ok(retry)
     }
@@ -504,6 +523,35 @@ mod tests {
         assert_eq!(stats.retries, 2);
         assert_eq!(stats.corrupt_retries, 2);
         assert_eq!(stats.gave_up, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn auth_flap_after_fresh_token_is_retried() {
+        // Only AuthFlap faults, firing on 80 % of credentialed requests: a
+        // post-token-dance 401 must be treated as transient (TokenFlap),
+        // not misclassified into the terminal auth bucket.
+        let cfg = ALL_FAULT_KINDS.iter().fold(FaultConfig::uniform(21, 0.8), |c, &k| {
+            c.with_weight(k, u32::from(k == FaultKind::AuthFlap))
+        });
+        let reg = Arc::new(Registry::new());
+        let private = RepoName::user("corp", "vault");
+        reg.create_repo(private.clone(), true);
+        let pb = b"classified".to_vec();
+        let pm = Manifest::new(vec![LayerRef { digest: Digest::of(&pb), size: pb.len() as u64 }]);
+        reg.push_image(&private, "latest", &pm, vec![pb]).unwrap();
+        let inj = Arc::new(FaultInjector::new(cfg));
+        let srv = RegistryServer::start_with_faults(reg, Some(inj.clone())).unwrap();
+
+        let client = RemoteRegistry::connect(srv.addr())
+            .with_retry_policy(RetryPolicy::fast(32).with_seed(11));
+        let (_d, m) = client.get_manifest(&private, "latest").unwrap();
+        let blob = client.get_blob(&private, &m.layers[0].digest).unwrap();
+        assert_eq!(blob, b"classified");
+        let stats = client.retry_stats();
+        assert!(stats.retries > 0, "80 % flap rate must force at least one retry");
+        assert_eq!(stats.gave_up, 0);
+        assert!(inj.stats().total() > 0, "injector must actually have flapped");
         srv.shutdown();
     }
 

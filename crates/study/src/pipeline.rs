@@ -122,6 +122,7 @@ pub fn run_study_streaming_with(
 ) -> StudyData {
     use dhub_downloader::{get_blob_verified, get_manifest_with_retry, DownloadedImage, RetryCounters};
     use dhub_par::pipeline::{sink, source, stage};
+    use std::collections::BTreeSet;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc as SArc;
 
@@ -139,11 +140,16 @@ pub fn run_study_streaming_with(
     let bytes = SArc::new(AtomicU64::new(0));
     let skipped = SArc::new(AtomicU64::new(0));
     let counters = SArc::new(RetryCounters::new());
+    // Digests whose fetch exhausted the retry budget: images referencing
+    // them are reclassified at assembly, exactly like the batch path.
+    let failed: SArc<std::sync::Mutex<BTreeSet<Digest>>> =
+        SArc::new(std::sync::Mutex::new(BTreeSet::new()));
 
     let repo_rx = source(crawl_result.repos.clone(), 64);
     let dl_registry = registry.clone();
     let dl_fetched = fetched.clone();
     let dl_counters = counters.clone();
+    let dl_failed = failed.clone();
     let dl_policy = *policy;
     let (dl_auth, dl_nolatest, dl_other, dl_bytes, dl_skipped) =
         (auth.clone(), no_latest.clone(), other.clone(), bytes.clone(), skipped.clone());
@@ -177,11 +183,11 @@ pub fn run_study_streaming_with(
                             blobs.push((l.digest, blob));
                         }
                         Err(_) => {
-                            // Image incomplete: classify and drop it (its
-                            // other layers stay — another image may share
-                            // them).
-                            dl_other.fetch_add(1, Ordering::Relaxed);
-                            return None;
+                            // The digest is abandoned; the image is
+                            // reclassified at assembly. Its already-fetched
+                            // blobs still flow downstream — another image
+                            // may share those layers.
+                            dl_failed.lock().unwrap().insert(l.digest);
                         }
                     }
                 }
@@ -217,6 +223,16 @@ pub fn run_study_streaming_with(
         }
         images_dl.push(img);
     }
+    // Images referencing an abandoned digest were still emitted (for their
+    // shareable layers); drop them from the success set here, mirroring
+    // the batch path's interleaving-independent classification.
+    let failed_digests = failed.lock().unwrap().clone();
+    let mut failed_images = 0usize;
+    images_dl.retain(|img| {
+        let complete = img.manifest.layers.iter().all(|l| !failed_digests.contains(&l.digest));
+        failed_images += usize::from(!complete);
+        complete
+    });
     images_dl.sort_by(|a, b| a.repo.cmp(&b.repo));
 
     let inputs: Vec<ImageInput> = images_dl
@@ -248,7 +264,7 @@ pub fn run_study_streaming_with(
             layer_fetches_skipped: skipped.load(Ordering::Relaxed),
             failed_auth: auth.load(Ordering::Relaxed) as usize,
             failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
-            failed_other: other.load(Ordering::Relaxed) as usize,
+            failed_other: other.load(Ordering::Relaxed) as usize + failed_images,
             retries: counters.retries(),
             gave_up: counters.gave_up(),
             corrupt_retries: counters.corrupt_retries(),
@@ -315,6 +331,46 @@ mod tests {
         for (a, b) in streaming.images.iter().zip(&batch.images) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn streaming_matches_batch_under_gave_up() {
+        use dhub_faults::{
+            FaultConfig, FaultInjector, FaultKind, FaultOp, RetryPolicy, ALL_FAULT_KINDS,
+        };
+        use std::sync::Arc;
+        // Corrupt-only blob faults with a zero retry budget: a good chunk
+        // of fetches are abandoned, and both pipeline shapes must agree on
+        // which images failed and which shared layers still made it into
+        // the corpus. Fresh injectors replay the identical fault stream.
+        let cfg = ALL_FAULT_KINDS
+            .iter()
+            .fold(FaultConfig::off().with_rate(FaultOp::Blob, 0.4), |c, &k| {
+                c.with_weight(k, u32::from(k == FaultKind::Corrupt))
+            });
+        let policy = RetryPolicy::none();
+
+        let hub = generate_hub(&SynthConfig::tiny(19).with_repos(40));
+        hub.registry.set_fault_injector(Some(Arc::new(FaultInjector::new(cfg.clone()))));
+        let batch = run_study_with(&hub, 4, &policy);
+
+        let hub = generate_hub(&SynthConfig::tiny(19).with_repos(40));
+        hub.registry.set_fault_injector(Some(Arc::new(FaultInjector::new(cfg))));
+        let streaming = run_study_streaming_with(&hub, 4, &policy);
+
+        assert!(batch.download.gave_up > 0, "40 % faults with no retries must abandon fetches");
+        assert_eq!(streaming.download.images_downloaded, batch.download.images_downloaded);
+        assert_eq!(streaming.download.failed_other, batch.download.failed_other);
+        assert_eq!(streaming.download.failed_auth, batch.download.failed_auth);
+        assert_eq!(streaming.download.failed_no_latest, batch.download.failed_no_latest);
+        assert_eq!(streaming.download.gave_up, batch.download.gave_up);
+        assert_eq!(streaming.download.unique_layers, batch.download.unique_layers);
+        assert_eq!(streaming.download.bytes_fetched, batch.download.bytes_fetched);
+        assert_eq!(streaming.layers.len(), batch.layers.len());
+        for (d, p) in &batch.layers {
+            assert_eq!(streaming.layers.get(d), Some(p), "shared-layer corpus diverged");
+        }
+        assert_eq!(streaming.images, batch.images);
     }
 
     #[test]
