@@ -17,6 +17,7 @@ use dhub_digest::FxHashMap;
 use dhub_model::{
     profile::path_depth, Digest, FileRecord, ImageProfile, LayerProfile, RepoName,
 };
+use dhub_obs::MetricsRegistry;
 use dhub_tar::{read_archive, EntryKind};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -118,8 +119,29 @@ pub struct AnalysisResult {
 
 /// Analyzes all layers in parallel.
 pub fn analyze_all(layers: &[(Digest, Arc<Vec<u8>>)], threads: usize) -> AnalysisResult {
+    analyze_all_obs(layers, threads, &MetricsRegistry::new())
+}
+
+/// [`analyze_all`], recording `dhub_analyze_{layers,files,errors}_total`
+/// into `obs` as workers finish layers (live progress, not end-of-run).
+pub fn analyze_all_obs(
+    layers: &[(Digest, Arc<Vec<u8>>)],
+    threads: usize,
+    obs: &MetricsRegistry,
+) -> AnalysisResult {
+    let c_layers = obs.counter("dhub_analyze_layers_total");
+    let c_files = obs.counter("dhub_analyze_files_total");
+    let c_errors = obs.counter("dhub_analyze_errors_total");
     let results = dhub_par::par_map(threads, layers, |(digest, blob)| {
-        (*digest, analyze_layer(*digest, blob))
+        let r = analyze_layer(*digest, blob);
+        match &r {
+            Ok(p) => {
+                c_layers.inc();
+                c_files.add(p.file_count);
+            }
+            Err(_) => c_errors.inc(),
+        }
+        (*digest, r)
     });
     let mut map = FxHashMap::default();
     let mut errors = Vec::new();
@@ -264,6 +286,22 @@ mod tests {
         assert_eq!(res.layers.len(), 1);
         assert_eq!(res.errors.len(), 1);
         assert!(res.layers.contains_key(&d1));
+    }
+
+    #[test]
+    fn obs_counters_track_analysis() {
+        let (d1, b1) = layer_blob(&[
+            TarEntry::file("a", b"one".to_vec()),
+            TarEntry::file("b", b"two".to_vec()),
+        ]);
+        let (d2, b2) = layer_blob(&[TarEntry::file("c", b"three".to_vec())]);
+        let bad = (Digest::of(b"bad"), Arc::new(b"junk".to_vec()));
+        let layers = vec![(d1, Arc::new(b1)), (d2, Arc::new(b2)), bad];
+        let obs = MetricsRegistry::new();
+        let res = analyze_all_obs(&layers, 2, &obs);
+        assert_eq!(obs.counter_value("dhub_analyze_layers_total"), res.layers.len() as u64);
+        assert_eq!(obs.counter_value("dhub_analyze_files_total"), 3);
+        assert_eq!(obs.counter_value("dhub_analyze_errors_total"), res.errors.len() as u64);
     }
 
     #[test]

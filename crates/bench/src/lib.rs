@@ -13,8 +13,12 @@
 //! Every bench prints one CSV line to stdout:
 //!
 //! ```text
-//! name,median_ns
+//! name,median_ns,samples,threads
 //! ```
+//!
+//! `samples` is the number of timing samples the median came from and
+//! `threads` the machine's available parallelism — recorded so stored
+//! results (`BENCH_*.json`) say how they were taken.
 //!
 //! plus a human-readable line on stderr (with throughput when declared).
 //! Positional CLI args act as substring filters like criterion's; `--bench`
@@ -161,7 +165,8 @@ where
     }
     let mut b = Bencher { sample_size, median_ns: f64::NAN };
     f(&mut b);
-    println!("{id},{:.0}", b.median_ns);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("{id},{:.0},{sample_size},{threads}", b.median_ns);
     let human = format_ns(b.median_ns);
     match throughput {
         Some(Throughput::Bytes(n)) => {

@@ -6,11 +6,13 @@
 use crate::args::Parsed;
 use dhub_faults::{FaultConfig, FaultInjector, RetryPolicy};
 use dhub_model::RepoName;
+use dhub_obs::{render_prometheus, MetricsRegistry, ProgressReporter};
 use dhub_study::figures;
-use dhub_study::pipeline::{run_study_with, StudyData};
+use dhub_study::pipeline::{run_study_obs, StudyData};
 use dhub_synth::{generate_hub, SynthConfig, SyntheticHub};
 use std::io::Write;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Usage text for `dhub help`.
 pub const USAGE: &str = "\
@@ -41,6 +43,11 @@ FAULT INJECTION (report, summary, pull, tags, cache-sim, carve, store):
   --fault-rate F            per-operation fault probability 0..1 [default 0]
   --fault-seed N            fault-plan seed (replayable)         [default 0]
   --max-retries N           retry budget per operation           [default 4]
+
+OBSERVABILITY (report, summary, pull, tags, cache-sim, carve, store):
+  --metrics                 print Prometheus-style exposition when done,
+                            and a periodic progress line on stderr
+  --metrics-snapshot PATH   write the final metrics snapshot as JSON
 ";
 
 fn config(args: &Parsed) -> Result<SynthConfig, crate::ArgError> {
@@ -74,12 +81,49 @@ fn fault_setup(
     Ok((injector, policy))
 }
 
+/// Metric keys the `--metrics` progress line tracks during a study.
+const PROGRESS_KEYS: &[&str] = &[
+    "dhub_crawl_pages_fetched_total",
+    "dhub_download_images_ok_total",
+    "dhub_download_bytes_total",
+    "dhub_download_retries_total",
+    "dhub_analyze_layers_total",
+];
+
+/// Starts the `--metrics` progress reporter (stderr, only on change).
+fn progress_for(args: &Parsed, obs: &Arc<MetricsRegistry>) -> Option<ProgressReporter> {
+    args.flag("metrics").then(|| {
+        let keys = PROGRESS_KEYS.iter().map(|k| k.to_string()).collect();
+        ProgressReporter::start(obs.clone(), Duration::from_millis(500), keys)
+    })
+}
+
+/// Honors `--metrics` (print the exposition) and `--metrics-snapshot PATH`
+/// (write the JSON snapshot). Call once, at the end of a command.
+fn emit_metrics(
+    args: &Parsed,
+    obs: &MetricsRegistry,
+    out: &mut impl Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if args.flag("metrics") {
+        write!(out, "{}", render_prometheus(obs))?;
+    }
+    let path = args.str("metrics-snapshot", "");
+    if !path.is_empty() {
+        std::fs::write(&path, obs.snapshot().to_json().to_string())?;
+        writeln!(out, "metrics snapshot written to {path}")?;
+    }
+    Ok(())
+}
+
 /// Builds the hub, attaches the fault injector (if requested), and runs
-/// the study pipeline under the configured retry policy.
+/// the study pipeline under the configured retry policy. The returned
+/// registry holds the run's metrics; commands pass it to [`emit_metrics`]
+/// once their own post-study work (store ingest, …) has been recorded.
 fn study_for(
     args: &Parsed,
     out: &mut impl Write,
-) -> Result<(SyntheticHub, StudyData), Box<dyn std::error::Error>> {
+) -> Result<(SyntheticHub, StudyData, Arc<MetricsRegistry>), Box<dyn std::error::Error>> {
     let hub = hub_for(args, out)?;
     let (injector, policy) = fault_setup(args)?;
     if let Some(inj) = &injector {
@@ -88,7 +132,12 @@ fn study_for(
             cfg.rate(dhub_faults::FaultOp::Manifest), cfg.seed, policy.max_retries)?;
         hub.registry.set_fault_injector(Some(inj.clone()));
     }
-    let data = run_study_with(&hub, threads(args)?, &policy);
+    let obs = Arc::new(MetricsRegistry::new());
+    let reporter = progress_for(args, &obs);
+    let data = run_study_obs(&hub, threads(args)?, &policy, &obs);
+    if let Some(r) = reporter {
+        r.stop();
+    }
     if let Some(inj) = &injector {
         // The study is over: detach the injector so post-study consumers
         // (version analysis, dedup-store ingest) read the registry clean
@@ -96,7 +145,7 @@ fn study_for(
         hub.registry.set_fault_injector(None);
         writeln!(out, "faults fired: {}", inj.stats().total())?;
     }
-    Ok((hub, data))
+    Ok((hub, data, obs))
 }
 
 /// Dispatches a parsed command. Returns a process exit code.
@@ -144,7 +193,7 @@ fn cmd_generate(args: &Parsed, out: &mut impl Write) -> CmdResult {
 }
 
 fn cmd_report(args: &Parsed, out: &mut impl Write) -> CmdResult {
-    let (hub, data) = study_for(args, out)?;
+    let (hub, data, obs) = study_for(args, out)?;
     for fig in figures::all_figures(&data) {
         writeln!(out, "{}", fig.render())?;
     }
@@ -153,14 +202,14 @@ fn cmd_report(args: &Parsed, out: &mut impl Write) -> CmdResult {
     writeln!(out, "{}", dhub_study::versions::ext_v1(&versions, hub.config.size_scale).render())?;
     writeln!(out, "{}", dhub_study::latency::ext_l1(&data).render())?;
     writeln!(out, "{}", dhub_study::carving::ext_c1(&data).render())?;
-    Ok(())
+    emit_metrics(args, &obs, out)
 }
 
 fn cmd_summary(args: &Parsed, out: &mut impl Write) -> CmdResult {
-    let (_hub, data) = study_for(args, out)?;
+    let (_hub, data, obs) = study_for(args, out)?;
     writeln!(out, "{}", figures::table1(&data).render())?;
     writeln!(out, "{}", figures::table2(&data).render())?;
-    Ok(())
+    emit_metrics(args, &obs, out)
 }
 
 fn cmd_pull(args: &Parsed, out: &mut impl Write) -> CmdResult {
@@ -170,8 +219,12 @@ fn cmd_pull(args: &Parsed, out: &mut impl Write) -> CmdResult {
     let hub = hub_for(args, out)?;
     let (injector, policy) = fault_setup(args)?;
 
-    // Pull over the real HTTP wire, like the paper's downloader.
-    let server = dhub_registry::RegistryServer::start_with_faults(hub.registry.clone(), injector)?;
+    // Pull over the real HTTP wire, like the paper's downloader. The obs
+    // registry is shared with the server, so `--metrics` shows the wire
+    // counters (`dhub_http_*`) the pull generated.
+    let obs = Arc::new(MetricsRegistry::new());
+    let server =
+        dhub_registry::RegistryServer::start_full(hub.registry.clone(), injector, obs.clone())?;
     let client = dhub_registry::RemoteRegistry::connect(server.addr()).with_retry_policy(policy);
     let (digest, manifest) = client.get_manifest(&repo, tag)?;
     writeln!(out, "manifest {digest} ({} layers)", manifest.layers.len())?;
@@ -191,7 +244,7 @@ fn cmd_pull(args: &Parsed, out: &mut impl Write) -> CmdResult {
         )?;
     }
     server.shutdown();
-    Ok(())
+    emit_metrics(args, &obs, out)
 }
 
 fn cmd_tags(args: &Parsed, out: &mut impl Write) -> CmdResult {
@@ -199,13 +252,15 @@ fn cmd_tags(args: &Parsed, out: &mut impl Write) -> CmdResult {
     let repo = RepoName::parse(repo_name).ok_or("bad repository name")?;
     let hub = hub_for(args, out)?;
     let (injector, policy) = fault_setup(args)?;
-    let server = dhub_registry::RegistryServer::start_with_faults(hub.registry.clone(), injector)?;
+    let obs = Arc::new(MetricsRegistry::new());
+    let server =
+        dhub_registry::RegistryServer::start_full(hub.registry.clone(), injector, obs.clone())?;
     let client = dhub_registry::RemoteRegistry::connect(server.addr()).with_retry_policy(policy);
     for tag in client.tags(&repo)? {
         writeln!(out, "{tag}")?;
     }
     server.shutdown();
-    Ok(())
+    emit_metrics(args, &obs, out)
 }
 
 fn cmd_serve(args: &Parsed, out: &mut impl Write) -> CmdResult {
@@ -221,7 +276,7 @@ fn cmd_serve(args: &Parsed, out: &mut impl Write) -> CmdResult {
 
 fn cmd_cache_sim(args: &Parsed, out: &mut impl Write) -> CmdResult {
     use dhub_cache::{simulate, Fifo, GreedyDualSizeFrequency, Lfu, Lru, PullTrace, TraceConfig};
-    let (_hub, data) = study_for(args, out)?;
+    let (_hub, data, obs) = study_for(args, out)?;
     let objects: Vec<(u64, f64, u64)> = data
         .images
         .iter()
@@ -254,19 +309,19 @@ fn cmd_cache_sim(args: &Parsed, out: &mut impl Write) -> CmdResult {
             r[3] * 100.0
         )?;
     }
-    Ok(())
+    emit_metrics(args, &obs, out)
 }
 
 fn cmd_carve(args: &Parsed, out: &mut impl Write) -> CmdResult {
-    let (_hub, data) = study_for(args, out)?;
+    let (_hub, data, obs) = study_for(args, out)?;
     writeln!(out, "{}", dhub_study::carving::ext_c1(&data).render())?;
-    Ok(())
+    emit_metrics(args, &obs, out)
 }
 
 fn cmd_store(args: &Parsed, out: &mut impl Write) -> CmdResult {
     use dhub_dedupstore::DedupStore;
-    let (hub, data) = study_for(args, out)?;
-    let store = DedupStore::new();
+    let (hub, data, obs) = study_for(args, out)?;
+    let store = DedupStore::with_metrics(&obs);
     for digest in data.layers.keys() {
         let blob = hub.registry.get_blob(digest).expect("downloaded layers exist");
         let _ = store.ingest_layer(*digest, &blob);
@@ -277,7 +332,7 @@ fn cmd_store(args: &Parsed, out: &mut impl Write) -> CmdResult {
     writeln!(out, "logical bytes   : {}", st.logical_bytes)?;
     writeln!(out, "physical bytes  : {}", st.physical_bytes)?;
     writeln!(out, "dedup factor    : {:.2}x", st.dedup_factor())?;
-    Ok(())
+    emit_metrics(args, &obs, out)
 }
 
 #[cfg(test)]
@@ -394,6 +449,60 @@ mod tests {
         assert!(faulty.contains("faults fired:"), "{faulty}");
         let stats = |s: &str| s.lines().rev().take(5).map(String::from).collect::<Vec<_>>();
         assert_eq!(stats(&faulty), stats(&clean), "dedup stats diverged under faults");
+    }
+
+    #[test]
+    fn summary_with_metrics_prints_exposition() {
+        let (code, out) = run_cmd(&[
+            "summary", "--repos", "20", "--seed", "5", "--scale", "1024", "--threads", "2",
+            "--metrics",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("# TYPE dhub_crawl_pages_fetched_total counter"), "{out}");
+        assert!(out.contains("dhub_download_images_ok_total"), "{out}");
+        assert!(out.contains("dhub_span_id_digest"), "{out}");
+    }
+
+    #[test]
+    fn metrics_snapshot_reconciles_with_table1() {
+        let dir = std::env::temp_dir().join(format!("dhub-cli-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let (code, out) = run_cmd(&[
+            "summary", "--repos", "25", "--seed", "5", "--scale", "1024", "--threads", "2",
+            "--fault-rate", "0.1", "--fault-seed", "7", "--max-retries", "16",
+            "--metrics-snapshot", path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("metrics snapshot written"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = dhub_json::parse(&text).unwrap();
+        let snap = dhub_obs::MetricsSnapshot::from_json(&json).unwrap();
+        // The printed Table 1 and the snapshot describe the same run.
+        let table_line = |label: &str| -> u64 {
+            out.lines()
+                .find(|l| l.trim_start().starts_with(label))
+                .and_then(|l| l.rsplit(':').next())
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or_else(|| panic!("missing table line {label:?} in {out}"))
+        };
+        assert_eq!(snap.counter("dhub_download_retries_total"), table_line("transient retries"));
+        assert_eq!(snap.counter("dhub_crawl_raw_results_total"), table_line("search results (raw)"));
+        assert_eq!(
+            snap.counter("dhub_download_unique_layers_total"),
+            table_line("unique compressed layers")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pull_with_metrics_shows_wire_counters() {
+        let (code, out) = run_cmd(&[
+            "pull", "nginx", "--repos", "20", "--seed", "3", "--scale", "1024", "--metrics",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("dhub_http_requests_total"), "{out}");
+        assert!(out.contains("dhub_http_status_2xx_total"), "{out}");
     }
 
     #[test]

@@ -14,8 +14,10 @@ pub use parse::{parse_results_page, PageError, PageInfo, ParsedPage};
 
 use dhub_faults::{fault_key, FaultInjector, FaultKind, FaultOp, RetryPolicy};
 use dhub_model::RepoName;
+use dhub_obs::{DeltaCounter, MetricsRegistry};
 use dhub_registry::SearchIndex;
 use std::collections::BTreeSet;
+use std::time::Duration;
 
 /// Crawl statistics, mirroring the paper's reported numbers.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -32,6 +34,11 @@ pub struct CrawlReport {
     /// Pages abandoned after the retry budget ran out (their rows are
     /// simply missing, as they would be from a real crawl).
     pub pages_gave_up: usize,
+    /// Result rows that deduplicated onto an already-seen repository
+    /// (`raw_results` minus first sightings).
+    pub dedup_hits: usize,
+    /// Time lost to retry backoff (deterministic scheduled delays).
+    pub backoff_sleep: Duration,
 }
 
 /// Crawl outcome: the deduplicated repository list plus statistics.
@@ -64,12 +71,63 @@ pub fn crawl_with(
     faults: Option<&FaultInjector>,
     policy: &RetryPolicy,
 ) -> CrawlResult {
+    crawl_obs(search, known_official, faults, policy, &MetricsRegistry::new())
+}
+
+/// Per-run crawl counters, attached to `dhub_crawl_*` metrics. The final
+/// [`CrawlReport`] is *derived from* these deltas, so a `/metrics` scrape
+/// and the report reconcile exactly.
+struct CrawlCounters {
+    pages_fetched: DeltaCounter,
+    page_retries: DeltaCounter,
+    pages_gave_up: DeltaCounter,
+    raw_results: DeltaCounter,
+    dedup_hits: DeltaCounter,
+    backoff_ns: DeltaCounter,
+}
+
+impl CrawlCounters {
+    fn on(reg: &MetricsRegistry) -> Self {
+        Self {
+            pages_fetched: DeltaCounter::on(reg, "dhub_crawl_pages_fetched_total"),
+            page_retries: DeltaCounter::on(reg, "dhub_crawl_page_retries_total"),
+            pages_gave_up: DeltaCounter::on(reg, "dhub_crawl_pages_gave_up_total"),
+            raw_results: DeltaCounter::on(reg, "dhub_crawl_raw_results_total"),
+            dedup_hits: DeltaCounter::on(reg, "dhub_crawl_dedup_hits_total"),
+            backoff_ns: DeltaCounter::on(reg, "dhub_crawl_backoff_ns_total"),
+        }
+    }
+
+    fn report(&self, distinct_repos: usize) -> CrawlReport {
+        CrawlReport {
+            raw_results: self.raw_results.delta() as usize,
+            distinct_repos,
+            pages_fetched: self.pages_fetched.delta() as usize,
+            page_retries: self.page_retries.delta() as usize,
+            pages_gave_up: self.pages_gave_up.delta() as usize,
+            dedup_hits: self.dedup_hits.delta() as usize,
+            backoff_sleep: Duration::from_nanos(self.backoff_ns.delta()),
+        }
+    }
+}
+
+/// [`crawl_with`], recording live metrics into `obs` (`dhub_crawl_*`
+/// counters plus a per-page `crawl_page` span). The returned report is
+/// built from the counter deltas, never from side bookkeeping.
+pub fn crawl_obs(
+    search: &SearchIndex,
+    known_official: &[RepoName],
+    faults: Option<&FaultInjector>,
+    policy: &RetryPolicy,
+    obs: &MetricsRegistry,
+) -> CrawlResult {
     let mut seen: BTreeSet<RepoName> = BTreeSet::new();
-    let mut report = CrawlReport::default();
+    let c = CrawlCounters::on(obs);
 
     let mut page = 0usize;
     let mut total_pages: Option<usize> = None;
     loop {
+        let _page_span = dhub_obs::span!(obs, "crawl_page", page);
         let key = fault_key(format!("search:{page}").as_bytes());
         let mut attempt = 0u32;
         let result = loop {
@@ -86,22 +144,24 @@ pub fn crawl_with(
             match fault {
                 None => break Some(search.search("/", page)),
                 Some(_) if attempt < policy.max_retries => {
-                    report.page_retries += 1;
-                    policy.sleep(key, attempt);
+                    c.page_retries.inc();
+                    c.backoff_ns.add(policy.sleep(key, attempt).as_nanos() as u64);
                     attempt += 1;
                 }
                 Some(_) => {
-                    report.pages_gave_up += 1;
+                    c.pages_gave_up.inc();
                     break None;
                 }
             }
         };
         if let Some(result) = result {
-            report.pages_fetched += 1;
+            c.pages_fetched.inc();
             let parsed = parse_results_page(&result.html).expect("hub returned malformed page");
-            report.raw_results += parsed.repos.len();
+            c.raw_results.add(parsed.repos.len() as u64);
             for name in parsed.repos {
-                seen.insert(name);
+                if !seen.insert(name) {
+                    c.dedup_hits.inc();
+                }
             }
             total_pages = Some(parsed.info.total_pages);
         }
@@ -116,7 +176,7 @@ pub fn crawl_with(
     for o in known_official {
         seen.insert(o.clone());
     }
-    report.distinct_repos = seen.len();
+    let report = c.report(seen.len());
     CrawlResult { repos: seen.into_iter().collect(), report }
 }
 
@@ -185,6 +245,29 @@ mod tests {
         assert_eq!(faulty.report.pages_fetched, clean.report.pages_fetched);
         assert!(faulty.report.page_retries > 0, "20 % faults must force retries");
         assert_eq!(faulty.report.pages_gave_up, 0);
+    }
+
+    #[test]
+    fn obs_counters_reconcile_with_report() {
+        let index = SearchIndex::build(repos(300), 1.386, 25);
+        let obs = MetricsRegistry::new();
+        let inj = FaultInjector::new(FaultConfig::uniform(9, 0.1));
+        let r = crawl_obs(&index, &[], Some(&inj), &RetryPolicy::fast(16).with_seed(9), &obs)
+            .report;
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("dhub_crawl_pages_fetched_total"), r.pages_fetched as u64);
+        assert_eq!(snap.counter("dhub_crawl_page_retries_total"), r.page_retries as u64);
+        assert_eq!(snap.counter("dhub_crawl_raw_results_total"), r.raw_results as u64);
+        assert_eq!(snap.counter("dhub_crawl_dedup_hits_total"), r.dedup_hits as u64);
+        assert_eq!(
+            snap.counter("dhub_crawl_backoff_ns_total"),
+            r.backoff_sleep.as_nanos() as u64
+        );
+        // Every raw row either first-sighted a repo or was a dedup hit.
+        assert_eq!(r.raw_results - r.dedup_hits, r.distinct_repos);
+        // One crawl_page span per page attempted.
+        let (calls, _) = obs.span_totals("crawl_page");
+        assert_eq!(calls, (r.pages_fetched + r.pages_gave_up) as u64);
     }
 
     #[test]

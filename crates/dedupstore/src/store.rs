@@ -4,6 +4,7 @@ use crate::recipe::{EntryMeta, LayerRecipe, RecipeEntryKind};
 use dhub_compress::{gzip_compress, gzip_decompress, CompressOptions};
 use dhub_digest::FxHashMap;
 use dhub_model::Digest;
+use dhub_obs::{Counter, Gauge, MetricsRegistry};
 use dhub_tar::{read_archive, EntryKind, TarEntry, Writer};
 use dhub_sync::RwLock;
 use std::sync::Arc;
@@ -77,6 +78,40 @@ struct ObjectEntry {
     refs: u64,
 }
 
+/// Live `dhub_store_*` metric handles. Default handles are detached (no
+/// registry), so an unobserved store pays only relaxed atomic increments.
+struct StoreMetrics {
+    ingests: Counter,
+    reconstructions: Counter,
+    gc_objects: Counter,
+    gc_reclaimed_bytes: Counter,
+    dedup_factor: Gauge,
+}
+
+impl Default for StoreMetrics {
+    fn default() -> Self {
+        StoreMetrics {
+            ingests: Counter::detached(),
+            reconstructions: Counter::detached(),
+            gc_objects: Counter::detached(),
+            gc_reclaimed_bytes: Counter::detached(),
+            dedup_factor: Gauge::detached(),
+        }
+    }
+}
+
+impl StoreMetrics {
+    fn on(reg: &MetricsRegistry) -> Self {
+        StoreMetrics {
+            ingests: reg.counter("dhub_store_ingests_total"),
+            reconstructions: reg.counter("dhub_store_reconstructions_total"),
+            gc_objects: reg.counter("dhub_store_gc_objects_total"),
+            gc_reclaimed_bytes: reg.counter("dhub_store_gc_reclaimed_bytes_total"),
+            dedup_factor: reg.gauge("dhub_store_dedup_factor"),
+        }
+    }
+}
+
 /// A file-level deduplicating layer store.
 ///
 /// Thread-safe: ingest/reconstruct may run concurrently from the analysis
@@ -86,12 +121,20 @@ pub struct DedupStore {
     objects: RwLock<FxHashMap<Digest, ObjectEntry>>,
     recipes: RwLock<FxHashMap<Digest, Arc<LayerRecipe>>>,
     counters: RwLock<StoreStats>,
+    metrics: StoreMetrics,
 }
 
 impl DedupStore {
     /// Creates an empty store.
     pub fn new() -> DedupStore {
         DedupStore::default()
+    }
+
+    /// An empty store whose operations record into `reg` under
+    /// `dhub_store_*` (ingests, reconstructions, GC work) plus the
+    /// `dhub_store_dedup_factor` gauge.
+    pub fn with_metrics(reg: &MetricsRegistry) -> DedupStore {
+        DedupStore { metrics: StoreMetrics::on(reg), ..DedupStore::default() }
     }
 
     /// Ingests a gzip-compressed layer tarball under `layer_digest`.
@@ -147,6 +190,8 @@ impl DedupStore {
         c.logical_bytes += stats.bytes_added + stats.bytes_deduped;
         c.conventional_bytes += blob.len() as u64;
         c.unique_objects = self.objects.read().len();
+        self.metrics.ingests.inc();
+        self.metrics.dedup_factor.set(c.dedup_factor());
         Ok(stats)
     }
 
@@ -176,6 +221,7 @@ impl DedupStore {
                 mtime: e.mtime,
             });
         }
+        self.metrics.reconstructions.inc();
         Ok(w.finish())
     }
 
@@ -198,12 +244,14 @@ impl DedupStore {
         let mut objects = self.objects.write();
         let mut reclaimed = 0u64;
         let mut logical_removed = 0u64;
+        let mut collected = 0u64;
         for d in recipe.file_digests() {
             if let Some(obj) = objects.get_mut(&d) {
                 obj.refs -= 1;
                 logical_removed += obj.data.len() as u64;
                 if obj.refs == 0 {
                     reclaimed += obj.data.len() as u64;
+                    collected += 1;
                     objects.remove(&d);
                 }
             }
@@ -213,6 +261,9 @@ impl DedupStore {
         c.physical_bytes -= reclaimed;
         c.logical_bytes -= logical_removed;
         c.unique_objects = objects.len();
+        self.metrics.gc_objects.add(collected);
+        self.metrics.gc_reclaimed_bytes.add(reclaimed);
+        self.metrics.dedup_factor.set(c.dedup_factor());
         Ok(reclaimed)
     }
 
@@ -325,6 +376,26 @@ mod tests {
         assert_eq!(reclaimed, shared.len() as u64);
         assert_eq!(store.stats().physical_bytes, 0);
         assert_eq!(store.stats().unique_objects, 0);
+    }
+
+    #[test]
+    fn metrics_track_store_operations() {
+        let reg = MetricsRegistry::new();
+        let store = DedupStore::with_metrics(&reg);
+        let shared = b"shared-content".as_slice();
+        let (d1, b1) = layer(&[file("a", shared), file("only1", b"111")]);
+        let (d2, b2) = layer(&[file("b", shared)]);
+        store.ingest_layer(d1, &b1).unwrap();
+        store.ingest_layer(d2, &b2).unwrap();
+        store.reconstruct_tar(&d1).unwrap();
+        assert_eq!(reg.counter_value("dhub_store_ingests_total"), 2);
+        assert_eq!(reg.counter_value("dhub_store_reconstructions_total"), 1);
+        let factor = reg.gauge_value("dhub_store_dedup_factor");
+        assert!((factor - store.stats().dedup_factor()).abs() < 1e-12);
+
+        let reclaimed = store.remove_layer(&d1).unwrap();
+        assert_eq!(reg.counter_value("dhub_store_gc_objects_total"), 1);
+        assert_eq!(reg.counter_value("dhub_store_gc_reclaimed_bytes_total"), reclaimed);
     }
 
     #[test]

@@ -11,11 +11,11 @@
 
 use dhub_faults::{fault_key, RetryPolicy};
 use dhub_model::{Digest, Manifest, RepoName};
+use dhub_obs::{DeltaCounter, MetricsRegistry};
 use dhub_par::ShardedMap;
 use dhub_registry::{ApiError, NetworkModel, Registry};
 use dhub_sync::Mutex;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,6 +48,9 @@ pub struct DownloadReport {
     /// The subset of `retries` forced by failed digest verification
     /// (truncated or bit-flipped bodies).
     pub corrupt_retries: u64,
+    /// Time lost to retry backoff, summed over workers (the deterministic
+    /// scheduled delays, so this is identical across worker counts).
+    pub backoff_sleep: Duration,
     /// Simulated wall-clock transfer time under the network model, summed
     /// over transfers (i.e. single-connection equivalent).
     pub simulated_transfer: Duration,
@@ -61,11 +64,17 @@ impl DownloadReport {
 }
 
 /// Shared retry bookkeeping for one download run (thread-safe; workers
-/// bump it concurrently).
+/// bump it concurrently). The counters are `dhub-obs` sharded counters:
+/// built with [`RetryCounters::on`] they alias the registry's
+/// `dhub_download_*` metrics, so a `/metrics` scrape sees retries live;
+/// built with [`RetryCounters::new`] they are detached but identical in
+/// behavior. Accessors report the *delta* since construction, so reports
+/// derived from them reconcile even on a long-lived shared registry.
 pub struct RetryCounters {
-    retries: AtomicU64,
-    gave_up: AtomicU64,
-    corrupt_retries: AtomicU64,
+    retries: DeltaCounter,
+    gave_up: DeltaCounter,
+    corrupt_retries: DeltaCounter,
+    backoff_ns: DeltaCounter,
 }
 
 impl Default for RetryCounters {
@@ -75,28 +84,54 @@ impl Default for RetryCounters {
 }
 
 impl RetryCounters {
-    /// Zeroed counters.
+    /// Zeroed counters, not attached to any metrics registry.
     pub fn new() -> RetryCounters {
         RetryCounters {
-            retries: AtomicU64::new(0),
-            gave_up: AtomicU64::new(0),
-            corrupt_retries: AtomicU64::new(0),
+            retries: DeltaCounter::detached(),
+            gave_up: DeltaCounter::detached(),
+            corrupt_retries: DeltaCounter::detached(),
+            backoff_ns: DeltaCounter::detached(),
+        }
+    }
+
+    /// Counters aliasing `reg`'s `dhub_download_{retries,gave_up,
+    /// corrupt_retries,backoff_ns}_total` metrics.
+    pub fn on(reg: &MetricsRegistry) -> RetryCounters {
+        RetryCounters {
+            retries: DeltaCounter::on(reg, "dhub_download_retries_total"),
+            gave_up: DeltaCounter::on(reg, "dhub_download_gave_up_total"),
+            corrupt_retries: DeltaCounter::on(reg, "dhub_download_corrupt_retries_total"),
+            backoff_ns: DeltaCounter::on(reg, "dhub_download_backoff_ns_total"),
         }
     }
 
     /// Attempts re-issued after retryable errors.
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.retries.delta()
     }
 
     /// Operations abandoned with the budget exhausted.
     pub fn gave_up(&self) -> u64 {
-        self.gave_up.load(Ordering::Relaxed)
+        self.gave_up.delta()
     }
 
     /// Retries caused by failed digest verification.
     pub fn corrupt_retries(&self) -> u64 {
-        self.corrupt_retries.load(Ordering::Relaxed)
+        self.corrupt_retries.delta()
+    }
+
+    /// Total scheduled backoff slept by retry loops using these counters.
+    pub fn backoff_sleep(&self) -> Duration {
+        Duration::from_nanos(self.backoff_ns.delta())
+    }
+
+    /// Folds an HTTP client's retry statistics into these counters (the
+    /// client runs its own retry loop and reports totals after the fact).
+    pub fn absorb(&self, stats: &dhub_registry::http::RetryStats) {
+        self.retries.add(stats.retries);
+        self.gave_up.add(stats.gave_up);
+        self.corrupt_retries.add(stats.corrupt_retries);
+        self.backoff_ns.add(stats.backoff_ns);
     }
 }
 
@@ -116,15 +151,16 @@ fn with_retries<T, E>(
             Ok(v) => return Ok(v),
             Err(e) if is_retryable(&e) && attempt < policy.max_retries => {
                 if is_corrupt(&e) {
-                    counters.corrupt_retries.fetch_add(1, Ordering::Relaxed);
+                    counters.corrupt_retries.add(1);
                 }
-                counters.retries.fetch_add(1, Ordering::Relaxed);
-                policy.sleep(key, attempt);
+                counters.retries.add(1);
+                let slept = policy.sleep(key, attempt);
+                counters.backoff_ns.add(slept.as_nanos() as u64);
                 attempt += 1;
             }
             Err(e) => {
                 if is_retryable(&e) {
-                    counters.gave_up.fetch_add(1, Ordering::Relaxed);
+                    counters.gave_up.add(1);
                 }
                 return Err(e);
             }
@@ -219,33 +255,98 @@ pub fn download_all_with(
     net: &NetworkModel,
     policy: &RetryPolicy,
 ) -> DownloadResult {
+    download_all_obs(registry, repos, threads, net, policy, &MetricsRegistry::new())
+}
+
+/// Per-run download counters attached to an obs registry; every field both
+/// feeds the live `dhub_download_*` metric and remembers its entry value so
+/// the final [`DownloadReport`] is the exact delta this run contributed.
+struct DownloadCounters {
+    auth: DeltaCounter,
+    no_latest: DeltaCounter,
+    other: DeltaCounter,
+    skipped: DeltaCounter,
+    bytes: DeltaCounter,
+    sim_nanos: DeltaCounter,
+    images_ok: DeltaCounter,
+    unique_layers: DeltaCounter,
+    retry: RetryCounters,
+}
+
+impl DownloadCounters {
+    fn on(reg: &MetricsRegistry) -> DownloadCounters {
+        DownloadCounters {
+            auth: DeltaCounter::on(reg, "dhub_download_failed_auth_total"),
+            no_latest: DeltaCounter::on(reg, "dhub_download_failed_no_latest_total"),
+            other: DeltaCounter::on(reg, "dhub_download_failed_other_total"),
+            skipped: DeltaCounter::on(reg, "dhub_download_layer_fetches_skipped_total"),
+            bytes: DeltaCounter::on(reg, "dhub_download_bytes_total"),
+            sim_nanos: DeltaCounter::on(reg, "dhub_download_sim_transfer_ns_total"),
+            images_ok: DeltaCounter::on(reg, "dhub_download_images_ok_total"),
+            unique_layers: DeltaCounter::on(reg, "dhub_download_unique_layers_total"),
+            retry: RetryCounters::on(reg),
+        }
+    }
+
+    fn report(&self) -> DownloadReport {
+        DownloadReport {
+            images_downloaded: self.images_ok.delta() as usize,
+            unique_layers: self.unique_layers.delta() as usize,
+            bytes_fetched: self.bytes.delta(),
+            layer_fetches_skipped: self.skipped.delta(),
+            failed_auth: self.auth.delta() as usize,
+            failed_no_latest: self.no_latest.delta() as usize,
+            failed_other: self.other.delta() as usize,
+            retries: self.retry.retries(),
+            gave_up: self.retry.gave_up(),
+            corrupt_retries: self.retry.corrupt_retries(),
+            backoff_sleep: self.retry.backoff_sleep(),
+            simulated_transfer: Duration::from_nanos(self.sim_nanos.delta()),
+        }
+    }
+}
+
+/// [`download_all_with`] recording into `obs`: every tally below lives in
+/// the registry's `dhub_download_*` counters (scrapeable mid-run via
+/// `/metrics`), and the returned [`DownloadReport`] is *derived from* those
+/// counters — the two reconcile exactly by construction.
+pub fn download_all_obs(
+    registry: &Registry,
+    repos: &[RepoName],
+    threads: usize,
+    net: &NetworkModel,
+    policy: &RetryPolicy,
+    obs: &MetricsRegistry,
+) -> DownloadResult {
     // digest → blob, populated once per unique layer.
     let fetched: ShardedMap<Digest, Option<Arc<Vec<u8>>>> = ShardedMap::new(64);
     let images: Mutex<Vec<DownloadedImage>> = Mutex::new(Vec::with_capacity(repos.len()));
-    let auth = AtomicU64::new(0);
-    let no_latest = AtomicU64::new(0);
-    let other = AtomicU64::new(0);
-    let skipped = AtomicU64::new(0);
-    let bytes = AtomicU64::new(0);
-    let sim_nanos = AtomicU64::new(0);
-    let counters = RetryCounters::new();
+    let dl = DownloadCounters::on(obs);
     // Digests whose fetch was abandoned: their placeholder entries must
     // not masquerade as downloaded layers.
     let failed_digests: Mutex<BTreeSet<Digest>> = Mutex::new(BTreeSet::new());
 
     dhub_par::par_for_each(threads, repos, |repo| {
-        match get_manifest_with_retry(registry, repo, "latest", policy, &counters) {
+        // Spans are roots, not nested: a shared layer's fetch is performed
+        // by whichever worker wins the claim race, so nesting fetch spans
+        // under the winner's manifest span would make trace ids depend on
+        // interleaving. Root spans keyed by repo/digest stay deterministic.
+        let resolved = {
+            let _span = dhub_obs::span!(obs, "resolve_manifest", repo.full());
+            get_manifest_with_retry(registry, repo, "latest", policy, &dl.retry)
+        };
+        match resolved {
             Err(ApiError::AuthRequired) => {
-                auth.fetch_add(1, Ordering::Relaxed);
+                dl.auth.add(1);
             }
             Err(ApiError::TagNotFound) => {
-                no_latest.fetch_add(1, Ordering::Relaxed);
+                dl.no_latest.add(1);
             }
             Err(_) => {
-                other.fetch_add(1, Ordering::Relaxed);
+                dl.other.add(1);
             }
             Ok(sess) => {
-                sim_nanos.fetch_add(net.transfer_time(1024).as_nanos() as u64, Ordering::Relaxed);
+                dl.sim_nanos.add(net.transfer_time(1024).as_nanos() as u64);
                 for layer in &sess.manifest.layers {
                     // Claim the digest first so exactly one worker fetches it.
                     let mut claimed = false;
@@ -257,16 +358,14 @@ pub fn download_all_with(
                         }
                     });
                     if !claimed {
-                        skipped.fetch_add(1, Ordering::Relaxed);
+                        dl.skipped.add(1);
                         continue;
                     }
-                    match get_blob_verified(registry, &layer.digest, policy, &counters) {
+                    let _span = dhub_obs::span!(obs, "fetch_blob", layer.digest);
+                    match get_blob_verified(registry, &layer.digest, policy, &dl.retry) {
                         Ok(blob) => {
-                            bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
-                            sim_nanos.fetch_add(
-                                net.transfer_time(blob.len() as u64).as_nanos() as u64,
-                                Ordering::Relaxed,
-                            );
+                            dl.bytes.add(blob.len() as u64);
+                            dl.sim_nanos.add(net.transfer_time(blob.len() as u64).as_nanos() as u64);
                             fetched.update(layer.digest, |slot| *slot = Some(blob.clone()));
                         }
                         Err(_) => {
@@ -306,19 +405,10 @@ pub fn download_all_with(
     });
     images.sort_by(|a, b| a.repo.cmp(&b.repo));
 
-    let report = DownloadReport {
-        images_downloaded: images.len(),
-        unique_layers: layers.len(),
-        bytes_fetched: bytes.load(Ordering::Relaxed),
-        layer_fetches_skipped: skipped.load(Ordering::Relaxed),
-        failed_auth: auth.load(Ordering::Relaxed) as usize,
-        failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
-        failed_other: other.load(Ordering::Relaxed) as usize + failed_images,
-        retries: counters.retries.load(Ordering::Relaxed),
-        gave_up: counters.gave_up.load(Ordering::Relaxed),
-        corrupt_retries: counters.corrupt_retries.load(Ordering::Relaxed),
-        simulated_transfer: Duration::from_nanos(sim_nanos.load(Ordering::Relaxed)),
-    };
+    dl.other.add(failed_images as u64);
+    dl.images_ok.add(images.len() as u64);
+    dl.unique_layers.add(layers.len() as u64);
+    let report = dl.report();
     DownloadResult { images, layers, report }
 }
 
@@ -345,16 +435,23 @@ pub fn download_all_http_with(
     threads: usize,
     policy: &RetryPolicy,
 ) -> DownloadResult {
+    download_all_http_obs(addr, repos, threads, policy, &MetricsRegistry::new())
+}
+
+/// [`download_all_http_with`] recording into `obs` — same counter-derived
+/// report contract as [`download_all_obs`].
+pub fn download_all_http_obs(
+    addr: std::net::SocketAddr,
+    repos: &[RepoName],
+    threads: usize,
+    policy: &RetryPolicy,
+    obs: &MetricsRegistry,
+) -> DownloadResult {
     use dhub_registry::http::ClientError;
 
     let fetched: ShardedMap<Digest, Option<Arc<Vec<u8>>>> = ShardedMap::new(64);
     let images: Mutex<Vec<DownloadedImage>> = Mutex::new(Vec::with_capacity(repos.len()));
-    let auth = AtomicU64::new(0);
-    let no_latest = AtomicU64::new(0);
-    let other = AtomicU64::new(0);
-    let skipped = AtomicU64::new(0);
-    let bytes = AtomicU64::new(0);
-    let counters = RetryCounters::new();
+    let dl = DownloadCounters::on(obs);
     let failed_digests: Mutex<BTreeSet<Digest>> = Mutex::new(BTreeSet::new());
 
     dhub_par::par_for_each(threads, repos, |repo| {
@@ -362,15 +459,19 @@ pub fn download_all_http_with(
         // (connection: close), matching a crawl that cycles addresses.
         let client =
             dhub_registry::RemoteRegistry::connect_anonymous(addr).with_retry_policy(*policy);
-        match client.get_manifest(repo, "latest") {
+        let resolved = {
+            let _span = dhub_obs::span!(obs, "resolve_manifest", repo.full());
+            client.get_manifest(repo, "latest")
+        };
+        match resolved {
             Err(ClientError::AuthRequired) => {
-                auth.fetch_add(1, Ordering::Relaxed);
+                dl.auth.add(1);
             }
             Err(ClientError::NotFound) => {
-                no_latest.fetch_add(1, Ordering::Relaxed);
+                dl.no_latest.add(1);
             }
             Err(_) => {
-                other.fetch_add(1, Ordering::Relaxed);
+                dl.other.add(1);
             }
             Ok((manifest_digest, manifest)) => {
                 for layer in &manifest.layers {
@@ -382,14 +483,15 @@ pub fn download_all_http_with(
                         }
                     });
                     if !claimed {
-                        skipped.fetch_add(1, Ordering::Relaxed);
+                        dl.skipped.add(1);
                         continue;
                     }
+                    let _span = dhub_obs::span!(obs, "fetch_blob", layer.digest);
                     // The client verifies blob digests internally and
                     // retries mismatches; an error here is final.
                     match client.get_blob(repo, &layer.digest) {
                         Ok(blob) => {
-                            bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                            dl.bytes.add(blob.len() as u64);
                             let blob = Arc::new(blob);
                             fetched.update(layer.digest, |slot| *slot = Some(blob.clone()));
                         }
@@ -406,10 +508,7 @@ pub fn download_all_http_with(
                 });
             }
         }
-        let stats = client.retry_stats();
-        counters.retries.fetch_add(stats.retries, Ordering::Relaxed);
-        counters.gave_up.fetch_add(stats.gave_up, Ordering::Relaxed);
-        counters.corrupt_retries.fetch_add(stats.corrupt_retries, Ordering::Relaxed);
+        dl.retry.absorb(&client.retry_stats());
     });
 
     let failed_digests = failed_digests.into_inner();
@@ -429,19 +528,10 @@ pub fn download_all_http_with(
     });
     images.sort_by(|a, b| a.repo.cmp(&b.repo));
 
-    let report = DownloadReport {
-        images_downloaded: images.len(),
-        unique_layers: layers.len(),
-        bytes_fetched: bytes.load(Ordering::Relaxed),
-        layer_fetches_skipped: skipped.load(Ordering::Relaxed),
-        failed_auth: auth.load(Ordering::Relaxed) as usize,
-        failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
-        failed_other: other.load(Ordering::Relaxed) as usize + failed_images,
-        retries: counters.retries.load(Ordering::Relaxed),
-        gave_up: counters.gave_up.load(Ordering::Relaxed),
-        corrupt_retries: counters.corrupt_retries.load(Ordering::Relaxed),
-        simulated_transfer: Duration::ZERO,
-    };
+    dl.other.add(failed_images as u64);
+    dl.images_ok.add(images.len() as u64);
+    dl.unique_layers.add(layers.len() as u64);
+    let report = dl.report();
     DownloadResult { images, layers, report }
 }
 

@@ -135,12 +135,23 @@ impl RetryPolicy {
 
     /// Sleeps the monotone schedule's delay before retry `attempt` of
     /// `key` (the struct-level monotonicity guarantee holds for the delays
-    /// actually slept, not just for [`RetryPolicy::schedule`]).
-    pub fn sleep(&self, key: u64, attempt: u32) {
+    /// actually slept, not just for [`RetryPolicy::schedule`]). Returns the
+    /// duration slept so callers can account time lost to backoff.
+    pub fn sleep(&self, key: u64, attempt: u32) -> Duration {
         let d = self.scheduled_delay(key, attempt);
         if !d.is_zero() {
             std::thread::sleep(d);
         }
+        d
+    }
+
+    /// Total backoff an operation on `key` accrues over its first
+    /// `attempts` retries — the sum of the realized (monotone) schedule,
+    /// i.e. exactly what a retry loop calling [`RetryPolicy::sleep`] for
+    /// attempts `0..attempts` sleeps in aggregate. Deterministic, so "time
+    /// lost to backoff" is reportable without measuring wall clock.
+    pub fn cumulative_delay(&self, key: u64, attempts: u32) -> Duration {
+        (0..attempts).map(|a| self.scheduled_delay(key, a)).sum()
     }
 }
 
@@ -206,6 +217,23 @@ mod tests {
     #[test]
     fn none_policy_has_empty_schedule() {
         assert!(RetryPolicy::none().schedule(1).is_empty());
+    }
+
+    #[test]
+    fn cumulative_delay_sums_realized_schedule() {
+        let p = RetryPolicy::new(6).with_seed(17).with_jitter(0.4);
+        for key in [0u64, 5, 999] {
+            let expect: Duration = p.schedule(key).iter().sum();
+            assert_eq!(p.cumulative_delay(key, p.max_retries), expect);
+            assert_eq!(p.cumulative_delay(key, 0), Duration::ZERO);
+            // Prefix sums are monotone in the attempt count.
+            let mut prev = Duration::ZERO;
+            for a in 0..=p.max_retries {
+                let c = p.cumulative_delay(key, a);
+                assert!(c >= prev);
+                prev = c;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Exporters: Prometheus text exposition, JSON snapshots, progress lines.
+
+use crate::metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+use dhub_json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Point-in-time copy of a histogram: total count, value sum, and the
+/// non-empty log2 buckets as `(bit_length, count)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn of(h: &Histogram) -> HistogramSnapshot {
+        let raw = h.buckets();
+        let buckets = raw
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        HistogramSnapshot { count: h.count(), sum: h.sum(), buckets }
+    }
+}
+
+/// Point-in-time copy of a span aggregate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    pub calls: u64,
+    pub total_ns: u64,
+}
+
+/// A consistent-enough copy of a whole registry, suitable for test
+/// assertions, `--metrics-snapshot` files, and diffing two points in time.
+/// (Counters are read shard-by-shard while writers may still be running,
+/// so a *live* snapshot is a slightly smeared cut; a snapshot taken after
+/// the workers join is exact.)
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    /// XOR of all span ids — serialized as a hex string (u64 does not fit
+    /// losslessly in the f64-backed JSON number type).
+    pub span_id_xor: u64,
+}
+
+impl MetricsRegistry {
+    /// Captures the current state of every metric and span aggregate.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let histograms =
+            self.histograms_map().iter().map(|(k, h)| (k.clone(), HistogramSnapshot::of(h))).collect();
+        let spans = self
+            .spans
+            .read()
+            .iter()
+            .map(|(k, a)| {
+                (
+                    k.clone(),
+                    SpanSnapshot {
+                        calls: a.calls.load(Ordering::Relaxed),
+                        total_ns: a.total_ns.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters: self.counters_map(),
+            gauges: self.gauges_map(),
+            histograms,
+            spans,
+            span_id_xor: self.span_digest(),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name, 0.0 if absent.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Serializes to the `dhub-obs-snapshot-v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters.set(k, *v);
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in &self.gauges {
+            gauges.set(k, *v);
+        }
+        let mut histograms = Json::obj();
+        for (k, h) in &self.histograms {
+            let mut o = Json::obj();
+            o.set("count", h.count).set("sum", h.sum);
+            o.set(
+                "buckets",
+                Json::Arr(
+                    h.buckets
+                        .iter()
+                        .map(|&(i, c)| Json::Arr(vec![Json::from(i), Json::from(c)]))
+                        .collect(),
+                ),
+            );
+            histograms.set(k, o);
+        }
+        let mut spans = Json::obj();
+        for (k, s) in &self.spans {
+            let mut o = Json::obj();
+            o.set("calls", s.calls).set("total_ns", s.total_ns);
+            spans.set(k, o);
+        }
+        let mut doc = Json::obj();
+        doc.set("schema", "dhub-obs-snapshot-v1")
+            .set("span_id_xor", format!("{:#018x}", self.span_id_xor))
+            .set("counters", counters)
+            .set("gauges", gauges)
+            .set("histograms", histograms)
+            .set("spans", spans);
+        doc
+    }
+
+    /// Parses a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(doc: &Json) -> Option<MetricsSnapshot> {
+        if doc.get("schema")?.as_str()? != "dhub-obs-snapshot-v1" {
+            return None;
+        }
+        let pairs = |j: &Json| -> Option<Vec<(String, Json)>> {
+            match j {
+                Json::Obj(p) => Some(p.clone()),
+                _ => None,
+            }
+        };
+        let mut counters = BTreeMap::new();
+        for (k, v) in pairs(doc.get("counters")?)? {
+            counters.insert(k, v.as_u64()?);
+        }
+        let mut gauges = BTreeMap::new();
+        for (k, v) in pairs(doc.get("gauges")?)? {
+            gauges.insert(k, v.as_f64()?);
+        }
+        let mut histograms = BTreeMap::new();
+        for (k, v) in pairs(doc.get("histograms")?)? {
+            let mut buckets = Vec::new();
+            for pair in v.get("buckets")?.as_arr()? {
+                let pair = pair.as_arr()?;
+                let i = pair.first()?.as_u64()? as u32;
+                if i as usize >= HISTOGRAM_BUCKETS {
+                    return None;
+                }
+                buckets.push((i, pair.get(1)?.as_u64()?));
+            }
+            histograms.insert(
+                k,
+                HistogramSnapshot {
+                    count: v.get("count")?.as_u64()?,
+                    sum: v.get("sum")?.as_u64()?,
+                    buckets,
+                },
+            );
+        }
+        let mut spans = BTreeMap::new();
+        for (k, v) in pairs(doc.get("spans")?)? {
+            spans.insert(
+                k,
+                SpanSnapshot {
+                    calls: v.get("calls")?.as_u64()?,
+                    total_ns: v.get("total_ns")?.as_u64()?,
+                },
+            );
+        }
+        let hex = doc.get("span_id_xor")?.as_str()?;
+        let span_id_xor = u64::from_str_radix(hex.trim_start_matches("0x"), 16).ok()?;
+        Some(MetricsSnapshot { counters, gauges, histograms, spans, span_id_xor })
+    }
+}
+
+/// Renders the registry in Prometheus text exposition format. Flat metric
+/// names throughout; the only labels are the conventional `le` bounds on
+/// histogram buckets. Deterministically ordered (the registry maps are
+/// `BTreeMap`s), so two renders of a quiesced registry are byte-identical.
+pub fn render_prometheus(reg: &MetricsRegistry) -> String {
+    let snap = reg.snapshot();
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for &(i, c) in &h.buckets {
+            cumulative += c;
+            // Bucket i holds values with bit length i, upper bound 2^i - 1.
+            let le = if i == 0 { 0 } else { (1u128 << i) - 1 };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    for (name, s) in &snap.spans {
+        let _ = writeln!(out, "# TYPE dhub_span_{name}_calls_total counter");
+        let _ = writeln!(out, "dhub_span_{name}_calls_total {}", s.calls);
+        let _ = writeln!(out, "# TYPE dhub_span_{name}_ns_total counter");
+        let _ = writeln!(out, "dhub_span_{name}_ns_total {}", s.total_ns);
+    }
+    let _ = writeln!(out, "# TYPE dhub_span_id_digest gauge");
+    let _ = writeln!(out, "dhub_span_id_digest {}", snap.span_id_xor);
+    out
+}
+
+/// Background thread printing a one-line digest of selected counters to
+/// stderr every `every` — the operator's heartbeat during a long study.
+/// Lines are printed only when something changed; stopped by
+/// [`stop`](Self::stop) or drop.
+pub struct ProgressReporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressReporter {
+    /// Starts the reporter watching `keys` (counter names; missing ones
+    /// read as 0 until created).
+    pub fn start(reg: Arc<MetricsRegistry>, every: Duration, keys: Vec<String>) -> ProgressReporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut last: Option<Vec<u64>> = None;
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(every);
+                let now: Vec<u64> = keys.iter().map(|k| reg.counter_value(k)).collect();
+                if last.as_ref() != Some(&now) {
+                    let mut line = String::from("obs:");
+                    for (k, v) in keys.iter().zip(&now) {
+                        let short = k.strip_prefix("dhub_").unwrap_or(k);
+                        let short = short.strip_suffix("_total").unwrap_or(short);
+                        let _ = write!(line, " {short}={v}");
+                    }
+                    eprintln!("{line}");
+                    last = Some(now);
+                }
+            }
+        });
+        ProgressReporter { stop, handle: Some(handle) }
+    }
+
+    /// Stops the reporter and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ProgressReporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("dhub_download_images_ok_total").add(40);
+        reg.counter("dhub_download_retries_total").add(3);
+        reg.gauge("dhub_layer_dedup_ratio").set(0.375);
+        reg.histogram("dhub_blob_bytes").observe(1000);
+        reg.histogram("dhub_blob_bytes").observe(3);
+        {
+            let _s = reg.span("download", 0);
+        }
+        reg
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = seeded();
+        let snap = reg.snapshot();
+        let text = snap.to_json().to_string();
+        let back = MetricsSnapshot::from_json(&dhub_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("dhub_download_images_ok_total"), 40);
+        assert_eq!(back.counter("missing"), 0);
+        assert_eq!(back.gauge("dhub_layer_dedup_ratio"), 0.375);
+        assert_eq!(back.spans["download"].calls, 1);
+    }
+
+    #[test]
+    fn snapshot_hex_digest_survives_high_bits() {
+        let reg = MetricsRegistry::new();
+        // Force a digest with the top bit set (not representable as exact f64 int).
+        reg.span_id_xor.store(0xdead_beef_dead_beef, Ordering::Relaxed);
+        let text = reg.snapshot().to_json().to_string();
+        let back = MetricsSnapshot::from_json(&dhub_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.span_id_xor, 0xdead_beef_dead_beef);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = seeded();
+        let text = render_prometheus(&reg);
+        assert!(text.contains("# TYPE dhub_download_images_ok_total counter\n"));
+        assert!(text.contains("\ndhub_download_images_ok_total 40\n") || text.starts_with("dhub_download_images_ok_total 40\n") || text.contains("dhub_download_images_ok_total 40\n"));
+        assert!(text.contains("dhub_layer_dedup_ratio 0.375\n"));
+        assert!(text.contains("dhub_blob_bytes_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("dhub_blob_bytes_sum 1003\n"));
+        assert!(text.contains("dhub_blob_bytes_count 2\n"));
+        assert!(text.contains("dhub_span_download_calls_total 1\n"));
+        assert!(text.contains("dhub_span_id_digest "));
+        // Every non-comment line is `name[{le="…"}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.split_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+        }
+        // Quiesced registry → byte-identical renders.
+        assert_eq!(text, render_prometheus(&reg));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        h.observe(1); // bucket 1, le=1
+        h.observe(2); // bucket 2, le=3
+        h.observe(3); // bucket 2, le=3
+        let text = render_prometheus(&reg);
+        assert!(text.contains("h_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("h_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3\n"));
+    }
+
+    #[test]
+    fn progress_reporter_runs_and_stops() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("dhub_test_total").add(5);
+        let rep = ProgressReporter::start(
+            reg.clone(),
+            Duration::from_millis(5),
+            vec!["dhub_test_total".to_string()],
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        rep.stop();
+    }
+}

@@ -1,0 +1,53 @@
+//! Observability for the crawl → download → analyze pipeline (`dhub-obs`).
+//!
+//! The paper's 30-day crawl (§III) was operable only because the authors
+//! could watch throughput, failure taxonomy, and per-stage progress *while
+//! it ran*. This crate gives the reproduction the same faculty without any
+//! external dependency (the workspace resolves fully offline):
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s. Counters are sharded over cache-padded atomics
+//!   ([`dhub_sync::CachePadded`], one 64-byte line per shard, shard chosen
+//!   by a stable per-thread slot) so hot-path increments from a worker crew
+//!   never contend on a single cache line.
+//! * [`Span`]s — lightweight tracing spans with parent/child nesting via a
+//!   thread-local stack, per-name wall-clock aggregation, and a span-id
+//!   scheme that is a *pure function* of `(parent id, name, key)`: ids do
+//!   not depend on wall clock, thread ids, or interleaving, so a trace
+//!   taken under `--fault-seed` is replayable attempt-for-attempt.
+//! * Exporters — Prometheus-style text exposition (served at `/metrics` by
+//!   the `dhub-registry` HTTP server), a [`MetricsSnapshot`] JSON document
+//!   for tests and `--metrics-snapshot`, and a [`ProgressReporter`] that
+//!   prints a periodic one-line digest for long study runs.
+//!
+//! Pipeline stages record into a registry handed to them; the per-crate
+//! report structs (`DownloadReport`, `CrawlReport`, …) are **derived from**
+//! the counters, so a `/metrics` scrape mid-run and the end-of-run table
+//! reconcile exactly (asserted in `tests/chaos.rs`).
+//!
+//! Naming scheme: `dhub_<stage>_<what>_total` for counters,
+//! `dhub_<stage>_<what>` for gauges, `dhub_span_<name>_{calls_total,ns_total}`
+//! for span aggregates. Flat names only — no labels — so the exposition
+//! stays trivially parseable by the in-repo tooling.
+
+mod export;
+mod metrics;
+mod span;
+
+pub use export::{render_prometheus, HistogramSnapshot, MetricsSnapshot, ProgressReporter, SpanSnapshot};
+pub use metrics::{Counter, DeltaCounter, Gauge, Histogram, MetricsRegistry};
+pub use span::{span_key, Span};
+
+/// Opens a span on `$reg` ([`MetricsRegistry`]): `span!(reg, "download")`
+/// or, keyed by the logical resource, `span!(reg, "fetch_blob", digest)`.
+/// The returned guard records wall clock into the per-name aggregate on
+/// drop; its id is deterministic under a pinned fault seed.
+#[macro_export]
+macro_rules! span {
+    ($reg:expr, $name:expr) => {
+        $reg.span($name, 0u64)
+    };
+    ($reg:expr, $name:expr, $key:expr) => {
+        $reg.span($name, $crate::span_key(format!("{}", $key).as_bytes()))
+    };
+}

@@ -1,0 +1,223 @@
+//! Tracing spans with deterministic ids.
+//!
+//! A span id is a pure function of `(parent id, name, key)` — no clocks,
+//! thread ids, or allocation addresses — so the *set* of span ids produced
+//! by a run depends only on the logical operations performed. Under a
+//! pinned `--fault-seed` the fault stream and retry schedule are themselves
+//! pure functions of (seed, op, key, attempt), so the whole trace replays:
+//! the XOR digest of all ids ([`MetricsRegistry::span_id_xor`] via
+//! snapshots) is identical across runs and across worker counts.
+//!
+//! Nesting uses a thread-local stack: a span opened while another span is
+//! live on the same thread becomes its child (its id mixes the parent's
+//! id). Cross-thread parentage is intentionally not modelled — pipeline
+//! stages hand work between threads, and a deterministic id scheme cannot
+//! depend on which worker picked an item up.
+
+use crate::metrics::MetricsRegistry;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// FNV-1a hash of arbitrary bytes — the canonical way to turn a logical
+/// key (repo name, blob digest) into a span key. The `span!` macro applies
+/// this to the `Display` form of its key argument.
+pub fn span_key(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: scrambles a combined word into a well-mixed id.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic span id: mixes parent id, name hash, and key. Two spans
+/// for the same logical operation (same ancestry, name, and key) share an
+/// id by design — the id names the operation, not the occurrence.
+fn span_id(parent: u64, name: &str, key: u64) -> u64 {
+    mix(parent ^ mix(span_key(name.as_bytes())) ^ mix(key))
+}
+
+/// Per-name wall-clock aggregate (exported as
+/// `dhub_span_<name>_calls_total` / `dhub_span_<name>_ns_total`).
+pub(crate) struct SpanAgg {
+    pub(crate) calls: AtomicU64,
+    pub(crate) total_ns: AtomicU64,
+}
+
+impl SpanAgg {
+    fn new() -> SpanAgg {
+        SpanAgg { calls: AtomicU64::new(0), total_ns: AtomicU64::new(0) }
+    }
+}
+
+/// A live span: records wall clock into its per-name aggregate on drop and
+/// keeps the thread-local parent stack balanced. Not `Send` — a span must
+/// close on the thread that opened it.
+pub struct Span {
+    id: u64,
+    agg: Arc<SpanAgg>,
+    start: Instant,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Span {
+    /// This span's deterministic id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.agg.calls.fetch_add(1, Ordering::Relaxed);
+        self.agg.total_ns.fetch_add(ns, Ordering::Relaxed);
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Usually a plain pop, but guards held as statement temporaries
+            // can outlive block locals and drop out of LIFO order — remove
+            // the innermost occurrence of this id wherever it sits.
+            if let Some(pos) = s.iter().rposition(|&id| id == self.id) {
+                s.remove(pos);
+            }
+        });
+    }
+}
+
+impl MetricsRegistry {
+    /// Opens a span named `name` keyed by `key` (0 for unkeyed stage
+    /// spans). Prefer the [`span!`](crate::span) macro, which hashes
+    /// arbitrary `Display` keys. The span is a child of whatever span is
+    /// live on this thread.
+    pub fn span(&self, name: &str, key: u64) -> Span {
+        // Clone out of the read guard before any write: under the 2021
+        // edition an `if let` scrutinee temporary lives through the else
+        // branch, so read-then-write in one expression self-deadlocks.
+        let existing = self.spans.read().get(name).cloned();
+        let agg = match existing {
+            Some(a) => a,
+            None => self
+                .spans
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(SpanAgg::new()))
+                .clone(),
+        };
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        let id = span_id(parent, name, key);
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        self.span_id_xor.fetch_xor(id, Ordering::Relaxed);
+        Span { id, agg, start: Instant::now(), _not_send: PhantomData }
+    }
+
+    /// XOR of every span id entered so far: an order-independent digest of
+    /// the trace, used by the chaos suite as a replayability witness.
+    pub fn span_digest(&self) -> u64 {
+        self.span_id_xor.load(Ordering::Relaxed)
+    }
+
+    /// `(calls, total_ns)` aggregate for a span name (zeros if never opened).
+    pub fn span_totals(&self, name: &str) -> (u64, u64) {
+        match self.spans.read().get(name) {
+            Some(a) => (a.calls.load(Ordering::Relaxed), a.total_ns.load(Ordering::Relaxed)),
+            None => (0, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_pure_functions_of_ancestry_name_key() {
+        let reg = MetricsRegistry::new();
+        let a = {
+            let s = reg.span("download", 0);
+            s.id()
+        };
+        let b = {
+            let s = reg.span("download", 0);
+            s.id()
+        };
+        assert_eq!(a, b, "same (parent, name, key) must give the same id");
+
+        let keyed = reg.span("fetch_blob", span_key(b"sha256:ab")).id();
+        let other = reg.span("fetch_blob", span_key(b"sha256:cd")).id();
+        assert_ne!(keyed, other);
+    }
+
+    #[test]
+    fn nesting_changes_child_ids() {
+        let reg = MetricsRegistry::new();
+        let top = {
+            let s = reg.span("fetch_blob", 7);
+            s.id()
+        };
+        let nested = {
+            let _parent = reg.span("download", 0);
+            let child = reg.span("fetch_blob", 7);
+            child.id()
+        };
+        assert_ne!(top, nested, "parent id must flow into child ids");
+    }
+
+    #[test]
+    fn aggregates_and_stack_stay_balanced() {
+        let reg = MetricsRegistry::new();
+        {
+            let _a = reg.span("stage", 0);
+            let _b = reg.span("inner", 1);
+        }
+        {
+            let _a = reg.span("stage", 0);
+        }
+        let (calls, ns) = reg.span_totals("stage");
+        assert_eq!(calls, 2);
+        assert!(ns > 0);
+        assert_eq!(reg.span_totals("inner").0, 1);
+        assert_eq!(reg.span_totals("never").0, 0);
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        // Same multiset of spans opened in different orders → same digest.
+        let r1 = MetricsRegistry::new();
+        let r2 = MetricsRegistry::new();
+        for k in [1u64, 2, 3] {
+            r1.span("op", k);
+        }
+        for k in [3u64, 1, 2] {
+            r2.span("op", k);
+        }
+        assert_eq!(r1.span_digest(), r2.span_digest());
+        assert_ne!(r1.span_digest(), 0);
+    }
+
+    #[test]
+    fn span_macro_hashes_display_keys() {
+        let reg = MetricsRegistry::new();
+        let by_macro = {
+            let s = crate::span!(reg, "fetch_blob", "sha256:ab");
+            s.id()
+        };
+        let by_hand = reg.span("fetch_blob", span_key(b"sha256:ab")).id();
+        assert_eq!(by_macro, by_hand);
+    }
+}

@@ -106,6 +106,9 @@ pub struct RetryStats {
     pub gave_up: u64,
     /// The subset of `retries` caused by failed digest verification.
     pub corrupt_retries: u64,
+    /// Nanoseconds of scheduled backoff slept between attempts
+    /// (deterministic per the policy — see `RetryPolicy::cumulative_delay`).
+    pub backoff_ns: u64,
 }
 
 /// An HTTP client bound to one registry address.
@@ -121,6 +124,7 @@ pub struct RemoteRegistry {
     retries: AtomicU64,
     gave_up: AtomicU64,
     corrupt_retries: AtomicU64,
+    backoff_ns: AtomicU64,
 }
 
 impl RemoteRegistry {
@@ -134,6 +138,7 @@ impl RemoteRegistry {
             retries: AtomicU64::new(0),
             gave_up: AtomicU64::new(0),
             corrupt_retries: AtomicU64::new(0),
+            backoff_ns: AtomicU64::new(0),
         }
     }
 
@@ -160,6 +165,7 @@ impl RemoteRegistry {
             retries: self.retries.load(Ordering::Relaxed),
             gave_up: self.gave_up.load(Ordering::Relaxed),
             corrupt_retries: self.corrupt_retries.load(Ordering::Relaxed),
+            backoff_ns: self.backoff_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -180,7 +186,8 @@ impl RemoteRegistry {
                         self.corrupt_retries.fetch_add(1, Ordering::Relaxed);
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
-                    self.policy.sleep(key, attempt);
+                    let slept = self.policy.sleep(key, attempt);
+                    self.backoff_ns.fetch_add(slept.as_nanos() as u64, Ordering::Relaxed);
                     attempt += 1;
                 }
                 Err(e) => {
@@ -256,6 +263,23 @@ impl RemoteRegistry {
             return Err(ClientError::TokenFlap);
         }
         Ok(retry)
+    }
+
+    /// Scrapes the server's `/metrics` endpoint (Prometheus text
+    /// exposition), retrying transient transport failures — a scraper must
+    /// survive the same wire faults the data path does.
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        let key = fault_key(b"/metrics");
+        self.retrying(key, || {
+            let resp = self.get("/metrics")?;
+            match resp.status {
+                200 => String::from_utf8(resp.body)
+                    .map_err(|_| ClientError::Protocol("metrics not utf8".into())),
+                429 => Err(ClientError::RateLimited),
+                s if s >= 500 => Err(ClientError::Unavailable),
+                s => Err(ClientError::Protocol(format!("metrics -> {s}"))),
+            }
+        })
     }
 
     /// Checks the `/v2/` version endpoint.

@@ -21,6 +21,6 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, RemoteRegistry};
+pub use client::{ClientError, RemoteRegistry, RetryStats};
 pub use server::RegistryServer;
 pub use wire::{read_request, read_response, Request, Response, WireError};

@@ -14,6 +14,7 @@ use crate::http::wire::{read_request, Request, Response, WireError};
 use dhub_faults::{fault_key, FaultInjector, FaultKind, FaultOp};
 use dhub_json::Json;
 use dhub_model::{Digest, RepoName};
+use dhub_obs::MetricsRegistry;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,9 +40,25 @@ impl RegistryServer {
     /// Like [`RegistryServer::start`], but every request consults the
     /// fault injector first: connections drop, 429/5xx fire, tokens flap,
     /// bodies truncate or flip bits — deterministically, per the plan.
+    ///
+    /// Metrics go to the process-global [`MetricsRegistry`]; use
+    /// [`RegistryServer::start_full`] to scope them to a run.
     pub fn start_with_faults(
         registry: Arc<Registry>,
         faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<RegistryServer> {
+        RegistryServer::start_full(registry, faults, MetricsRegistry::global())
+    }
+
+    /// The fully explicit constructor: fault injector and the metrics
+    /// registry this server records into — and serves back, live, at
+    /// `GET /metrics` in Prometheus text exposition. Handing in the same
+    /// registry a study run records into makes the endpoint a window onto
+    /// the whole pipeline, not just the HTTP front.
+    pub fn start_full(
+        registry: Arc<Registry>,
+        faults: Option<Arc<FaultInjector>>,
+        metrics: Arc<MetricsRegistry>,
     ) -> std::io::Result<RegistryServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
@@ -56,11 +73,12 @@ impl RegistryServer {
                         Ok((stream, _)) => {
                             let reg = registry.clone();
                             let inj = faults.clone();
+                            let met = metrics.clone();
                             // Thread-per-connection: plenty for the study's
                             // bounded worker crews.
                             let _ = std::thread::Builder::new()
                                 .name("dhub-registry-conn".into())
-                                .spawn(move || handle_connection(stream, reg, inj));
+                                .spawn(move || handle_connection(stream, reg, inj, met));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(std::time::Duration::from_millis(2));
@@ -111,6 +129,7 @@ fn handle_connection(
     mut stream: TcpStream,
     registry: Arc<Registry>,
     faults: Option<Arc<FaultInjector>>,
+    metrics: Arc<MetricsRegistry>,
 ) {
     // Keep-alive: serve requests until the peer closes or errs.
     loop {
@@ -122,7 +141,7 @@ fn handle_connection(
                 return;
             }
         };
-        let response = match route_faulty(&request, &registry, faults.as_deref()) {
+        let response = match route_faulty(&request, &registry, faults.as_deref(), &metrics) {
             Routed::Respond(r) => r,
             Routed::RespondTruncated(r, keep) => {
                 let _ = r.write_truncated_to(&mut stream, keep);
@@ -157,14 +176,22 @@ fn json_error(status: u16, code: &str) -> Response {
         .with_header("content-type", "application/json")
 }
 
-fn route(req: &Request, registry: &Registry) -> Response {
+fn route(req: &Request, registry: &Registry, metrics: &MetricsRegistry) -> Response {
     if req.method != "GET" {
         return json_error(405, "UNSUPPORTED");
     }
     let path = req.target.split('?').next().unwrap_or("");
 
+    // Live metrics: the registry handed to this server at start, rendered
+    // in Prometheus text exposition — scrapeable mid-study.
+    if path == "/metrics" {
+        return Response::new(200, dhub_obs::render_prometheus(metrics).into_bytes())
+            .with_header("content-type", "text/plain; version=0.0.4");
+    }
+
     // Token endpoint (the Bearer realm the 401 challenge points at).
     if path == "/token" {
+        metrics.counter("dhub_http_token_grants_total").inc();
         let mut body = Json::obj();
         body.set("token", DEMO_TOKEN);
         return Response::new(200, body.to_string().into_bytes())
@@ -201,6 +228,12 @@ fn http_fault_op(path: &str) -> Option<FaultOp> {
     if path == "/token" {
         return Some(FaultOp::Token);
     }
+    if path == "/metrics" {
+        // A scraper shares the wire with the crawl, so it shares its
+        // transport faults too (never body damage — that allowed set is
+        // reserved for manifests/blobs below).
+        return Some(FaultOp::Search);
+    }
     let rest = path.strip_prefix("/v2/")?;
     if rest.contains("/manifests/") {
         Some(FaultOp::Manifest)
@@ -216,7 +249,35 @@ fn http_fault_op(path: &str) -> Option<FaultOp> {
 /// Routes one request through the fault plan: transport faults (drop,
 /// 429/503, auth flap, slow link) fire before the registry is consulted;
 /// body damage (truncate, bit flip) is applied to successful responses.
-fn route_faulty(req: &Request, registry: &Registry, faults: Option<&FaultInjector>) -> Routed {
+/// Tallies `dhub_http_*` counters along the way.
+fn route_faulty(
+    req: &Request,
+    registry: &Registry,
+    faults: Option<&FaultInjector>,
+    metrics: &MetricsRegistry,
+) -> Routed {
+    metrics.counter("dhub_http_requests_total").inc();
+    let routed = route_faulty_inner(req, registry, faults, metrics);
+    let status = match &routed {
+        Routed::Respond(r) | Routed::RespondTruncated(r, _) => r.status,
+        Routed::Drop => 0,
+    };
+    match status {
+        200..=299 => metrics.counter("dhub_http_status_2xx_total").inc(),
+        400..=499 => metrics.counter("dhub_http_status_4xx_total").inc(),
+        500..=599 => metrics.counter("dhub_http_status_5xx_total").inc(),
+        _ => {}
+    }
+    routed
+}
+
+fn route_faulty_inner(
+    req: &Request,
+    registry: &Registry,
+    faults: Option<&FaultInjector>,
+    metrics: &MetricsRegistry,
+) -> Routed {
+    let route = |req, registry| route(req, registry, metrics);
     let Some(inj) = faults else { return Routed::Respond(route(req, registry)) };
     let path = req.target.split('?').next().unwrap_or("");
     let Some(op) = http_fault_op(path) else { return Routed::Respond(route(req, registry)) };
@@ -239,7 +300,11 @@ fn route_faulty(req: &Request, registry: &Registry, faults: Option<&FaultInjecto
     }
 
     let key = fault_key(path.as_bytes());
-    match inj.decide(op, key, &allowed) {
+    let decision = inj.decide(op, key, &allowed);
+    if decision.is_some() {
+        metrics.counter("dhub_http_wire_faults_total").inc();
+    }
+    match decision {
         None => Routed::Respond(route(req, registry)),
         Some(FaultKind::Drop) => Routed::Drop,
         Some(FaultKind::RateLimit) => Routed::Respond(json_error(429, "TOOMANYREQUESTS")),
@@ -349,7 +414,11 @@ mod tests {
     }
 
     fn roundtrip(req: &Request, reg: &Registry) -> Response {
-        route(req, reg)
+        route(req, reg, &MetricsRegistry::new())
+    }
+
+    fn faulty(req: &Request, reg: &Registry, inj: &FaultInjector) -> Routed {
+        route_faulty(req, reg, Some(inj), &MetricsRegistry::new())
     }
 
     #[test]
@@ -457,21 +526,18 @@ mod tests {
     fn injected_rate_limit_then_drop() {
         let reg = test_registry();
         let req = Request::get("/v2/nginx/manifests/latest");
-        match route_faulty(&req, &reg, Some(&only(FaultKind::RateLimit))) {
+        match faulty(&req, &reg, &only(FaultKind::RateLimit)) {
             Routed::Respond(r) => assert_eq!(r.status, 429),
             _ => panic!("expected a 429 response"),
         }
-        assert!(matches!(
-            route_faulty(&req, &reg, Some(&only(FaultKind::Drop))),
-            Routed::Drop
-        ));
+        assert!(matches!(faulty(&req, &reg, &only(FaultKind::Drop)), Routed::Drop));
     }
 
     #[test]
     fn injected_truncation_keeps_prefix_only() {
         let reg = test_registry();
         let req = Request::get("/v2/nginx/manifests/latest");
-        match route_faulty(&req, &reg, Some(&only(FaultKind::Truncate))) {
+        match faulty(&req, &reg, &only(FaultKind::Truncate)) {
             Routed::RespondTruncated(r, keep) => {
                 assert_eq!(r.status, 200);
                 assert!(keep < r.body.len());
@@ -485,7 +551,7 @@ mod tests {
         let reg = test_registry();
         let req = Request::get("/v2/nginx/manifests/latest");
         let clean = roundtrip(&req, &reg);
-        match route_faulty(&req, &reg, Some(&only(FaultKind::Corrupt))) {
+        match faulty(&req, &reg, &only(FaultKind::Corrupt)) {
             Routed::Respond(r) => {
                 assert_eq!(r.status, 200);
                 assert_ne!(r.body, clean.body);
@@ -508,13 +574,13 @@ mod tests {
         // Anonymous request: AuthFlap is not in the allowed set, every other
         // weight is zero, so no fault fires at all.
         let req = Request::get("/v2/nginx/manifests/latest");
-        match route_faulty(&req, &reg, Some(&inj)) {
+        match faulty(&req, &reg, &inj) {
             Routed::Respond(r) => assert_eq!(r.status, 200),
             _ => panic!("anonymous request must not fault"),
         }
         // The same request with credentials gets a re-auth challenge.
         let req = req.with_header("authorization", &format!("Bearer {DEMO_TOKEN}"));
-        match route_faulty(&req, &reg, Some(&inj)) {
+        match faulty(&req, &reg, &inj) {
             Routed::Respond(r) => {
                 assert_eq!(r.status, 401);
                 assert!(r.header("www-authenticate").unwrap().contains("Bearer"));

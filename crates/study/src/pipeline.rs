@@ -1,12 +1,13 @@
 //! The crawl → download → analyze pipeline (§III).
 
-use dhub_analyzer::{analyze_all, image_profiles, ImageInput};
-use dhub_crawler::{crawl_with, CrawlReport};
+use dhub_analyzer::{analyze_all_obs, image_profiles, ImageInput};
+use dhub_crawler::{crawl_obs, CrawlReport};
 use dhub_dedup::ImageLayers;
 use dhub_digest::FxHashMap;
-use dhub_downloader::{download_all_with, DownloadReport};
+use dhub_downloader::{download_all_obs, DownloadReport};
 use dhub_faults::RetryPolicy;
 use dhub_model::{Digest, ImageProfile, LayerProfile, RepoName};
+use dhub_obs::{span, MetricsRegistry};
 use dhub_registry::NetworkModel;
 use dhub_synth::SyntheticHub;
 
@@ -55,19 +56,52 @@ pub fn run_study(hub: &SyntheticHub, threads: usize) -> StudyData {
 /// injector attached to `hub.registry` (if any) — the crawl consults the
 /// same injector for its search pages.
 pub fn run_study_with(hub: &SyntheticHub, threads: usize, policy: &RetryPolicy) -> StudyData {
+    run_study_obs(hub, threads, policy, &MetricsRegistry::new())
+}
+
+/// Sets the `dhub_layer_dedup_ratio` gauge: the fraction of manifest layer
+/// references that deduplicated onto an already-fetched layer.
+fn set_dedup_ratio(obs: &MetricsRegistry, download: &DownloadReport) {
+    let refs = download.unique_layers as u64 + download.layer_fetches_skipped;
+    if refs > 0 {
+        obs.gauge("dhub_layer_dedup_ratio")
+            .set(download.layer_fetches_skipped as f64 / refs as f64);
+    }
+}
+
+/// [`run_study_with`], recording live metrics and per-stage spans into
+/// `obs`. The per-stage reports inside [`StudyData`] are derived from the
+/// `dhub_*` counters, so a `/metrics` scrape and the end-of-run table
+/// reconcile exactly.
+pub fn run_study_obs(
+    hub: &SyntheticHub,
+    threads: usize,
+    policy: &RetryPolicy,
+    obs: &MetricsRegistry,
+) -> StudyData {
     // §III-A: crawl. The official list is public knowledge (the paper
     // hardcodes the <200 official repositories).
     let officials: Vec<RepoName> =
         hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
     let injector = hub.registry.fault_injector();
-    let crawl_result = crawl_with(&hub.search, &officials, injector.as_deref(), policy);
+    let crawl_result = {
+        let _stage = span!(obs, "crawl");
+        crawl_obs(&hub.search, &officials, injector.as_deref(), policy, obs)
+    };
 
     // §III-B: download latest images, unique layers only.
     let net = NetworkModel::wan();
-    let dl = download_all_with(&hub.registry, &crawl_result.repos, threads, &net, policy);
+    let dl = {
+        let _stage = span!(obs, "download");
+        download_all_obs(&hub.registry, &crawl_result.repos, threads, &net, policy, obs)
+    };
+    set_dedup_ratio(obs, &dl.report);
 
     // §III-C: analyze layers, then aggregate image profiles.
-    let analysis = analyze_all(&dl.layers, threads);
+    let analysis = {
+        let _stage = span!(obs, "analyze");
+        analyze_all_obs(&dl.layers, threads, obs)
+    };
     let inputs: Vec<ImageInput> = dl
         .images
         .iter()
@@ -120,26 +154,47 @@ pub fn run_study_streaming_with(
     threads: usize,
     policy: &RetryPolicy,
 ) -> StudyData {
+    run_study_streaming_obs(hub, threads, policy, &MetricsRegistry::new())
+}
+
+/// [`run_study_streaming_with`] recording into `obs`. The stage workers
+/// feed the same `dhub_download_*` / `dhub_analyze_*` counters as the
+/// batch path, and the assembled [`DownloadReport`] is derived from their
+/// deltas — scraping `/metrics` mid-stream sees the run's live totals.
+pub fn run_study_streaming_obs(
+    hub: &SyntheticHub,
+    threads: usize,
+    policy: &RetryPolicy,
+    obs: &MetricsRegistry,
+) -> StudyData {
     use dhub_downloader::{get_blob_verified, get_manifest_with_retry, DownloadedImage, RetryCounters};
+    use dhub_obs::DeltaCounter;
     use dhub_par::pipeline::{sink, source, stage};
     use std::collections::BTreeSet;
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc as SArc;
 
     let officials: Vec<RepoName> =
         hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
     let injector = hub.registry.fault_injector();
-    let crawl_result = crawl_with(&hub.search, &officials, injector.as_deref(), policy);
+    let crawl_result = {
+        let _stage = span!(obs, "crawl");
+        crawl_obs(&hub.search, &officials, injector.as_deref(), policy, obs)
+    };
 
     // Stage 1 (network-bound): resolve manifests + fetch unique layers.
+    // Counters alias the batch path's metric names; the report below is
+    // built from their deltas.
+    let _stream_stage = span!(obs, "stream");
     let registry = hub.registry.clone();
     let fetched: SArc<dhub_par::ShardedMap<Digest, ()>> = SArc::new(dhub_par::ShardedMap::new(64));
-    let auth = SArc::new(AtomicU64::new(0));
-    let no_latest = SArc::new(AtomicU64::new(0));
-    let other = SArc::new(AtomicU64::new(0));
-    let bytes = SArc::new(AtomicU64::new(0));
-    let skipped = SArc::new(AtomicU64::new(0));
-    let counters = SArc::new(RetryCounters::new());
+    let auth = DeltaCounter::on(obs, "dhub_download_failed_auth_total");
+    let no_latest = DeltaCounter::on(obs, "dhub_download_failed_no_latest_total");
+    let other = DeltaCounter::on(obs, "dhub_download_failed_other_total");
+    let bytes = DeltaCounter::on(obs, "dhub_download_bytes_total");
+    let skipped = DeltaCounter::on(obs, "dhub_download_layer_fetches_skipped_total");
+    let images_ok = DeltaCounter::on(obs, "dhub_download_images_ok_total");
+    let unique = DeltaCounter::on(obs, "dhub_download_unique_layers_total");
+    let counters = SArc::new(RetryCounters::on(obs));
     // Digests whose fetch exhausted the retry budget: images referencing
     // them are reclassified at assembly, exactly like the batch path.
     let failed: SArc<std::sync::Mutex<BTreeSet<Digest>>> =
@@ -157,15 +212,15 @@ pub fn run_study_streaming_with(
     let dl_rx = stage(repo_rx, threads.max(2), 32, move |repo: RepoName| -> Option<DlItem> {
         match get_manifest_with_retry(&dl_registry, &repo, "latest", &dl_policy, &dl_counters) {
             Err(dhub_registry::ApiError::AuthRequired) => {
-                dl_auth.fetch_add(1, Ordering::Relaxed);
+                dl_auth.inc();
                 None
             }
             Err(dhub_registry::ApiError::TagNotFound) => {
-                dl_nolatest.fetch_add(1, Ordering::Relaxed);
+                dl_nolatest.inc();
                 None
             }
             Err(_) => {
-                dl_other.fetch_add(1, Ordering::Relaxed);
+                dl_other.inc();
                 None
             }
             Ok(sess) => {
@@ -174,12 +229,12 @@ pub fn run_study_streaming_with(
                     // First inserter claims the digest (atomic per shard).
                     let claimed = dl_fetched.insert(l.digest, ()).is_none();
                     if !claimed {
-                        dl_skipped.fetch_add(1, Ordering::Relaxed);
+                        dl_skipped.inc();
                         continue;
                     }
                     match get_blob_verified(&dl_registry, &l.digest, &dl_policy, &dl_counters) {
                         Ok(blob) => {
-                            dl_bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                            dl_bytes.add(blob.len() as u64);
                             blobs.push((l.digest, blob));
                         }
                         Err(_) => {
@@ -204,10 +259,23 @@ pub fn run_study_streaming_with(
     });
 
     // Stage 2 (CPU-bound): analyze each image's newly fetched layers.
+    let an_layers = obs.counter("dhub_analyze_layers_total");
+    let an_files = obs.counter("dhub_analyze_files_total");
+    let an_errors = obs.counter("dhub_analyze_errors_total");
     let an_rx = stage(dl_rx, threads.max(1), 16, move |(img, blobs): DlItem| {
         let profiles: Vec<(Digest, LayerProfile)> = blobs
             .into_iter()
-            .filter_map(|(d, blob)| dhub_analyzer::analyze_layer(d, &blob).ok().map(|p| (d, p)))
+            .filter_map(|(d, blob)| match dhub_analyzer::analyze_layer(d, &blob) {
+                Ok(p) => {
+                    an_layers.inc();
+                    an_files.add(p.file_count);
+                    Some((d, p))
+                }
+                Err(_) => {
+                    an_errors.inc();
+                    None
+                }
+            })
             .collect();
         Some((img, profiles))
     });
@@ -254,22 +322,27 @@ pub fn run_study_streaming_with(
         .filter_map(|r| hub.registry.pull_count(r).map(|c| (r.clone(), c)))
         .collect();
 
-    let unique_layers = layers.len();
+    images_ok.add(images_dl.len() as u64);
+    unique.add(layers.len() as u64);
+    other.add(failed_images as u64);
+    let download = dhub_downloader::DownloadReport {
+        images_downloaded: images_ok.delta() as usize,
+        unique_layers: unique.delta() as usize,
+        bytes_fetched: bytes.delta(),
+        layer_fetches_skipped: skipped.delta(),
+        failed_auth: auth.delta() as usize,
+        failed_no_latest: no_latest.delta() as usize,
+        failed_other: other.delta() as usize,
+        retries: counters.retries(),
+        gave_up: counters.gave_up(),
+        corrupt_retries: counters.corrupt_retries(),
+        backoff_sleep: counters.backoff_sleep(),
+        simulated_transfer: std::time::Duration::ZERO,
+    };
+    set_dedup_ratio(obs, &download);
     StudyData {
         crawl: crawl_result.report,
-        download: dhub_downloader::DownloadReport {
-            images_downloaded: images_dl.len(),
-            unique_layers,
-            bytes_fetched: bytes.load(Ordering::Relaxed),
-            layer_fetches_skipped: skipped.load(Ordering::Relaxed),
-            failed_auth: auth.load(Ordering::Relaxed) as usize,
-            failed_no_latest: no_latest.load(Ordering::Relaxed) as usize,
-            failed_other: other.load(Ordering::Relaxed) as usize + failed_images,
-            retries: counters.retries(),
-            gave_up: counters.gave_up(),
-            corrupt_retries: counters.corrupt_retries(),
-            simulated_transfer: std::time::Duration::ZERO,
-        },
+        download,
         layers,
         images,
         image_layers,

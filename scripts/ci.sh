@@ -39,6 +39,60 @@ PROPTEST_SEED=0x00000000002a2a2a \
 echo "==> chaos suite: tests/chaos.rs"
 cargo test -q --offline -p dhub-study --test chaos
 
+# Observability gate: a seeded faulted study writes a metrics snapshot that
+# must reconcile exactly with the Table 1 counters the same run printed —
+# the reports are *derived from* the counters, so any drift is a bug.
+echo "==> obs gate: metrics snapshot reconciles with printed Table 1"
+OBS_SNAP=$(mktemp /tmp/dhub-obs-snap.XXXXXX)
+OBS_OUT=$(mktemp /tmp/dhub-obs-out.XXXXXX)
+./target/release/dhub summary --repos 25 --seed 5 --scale 1024 --threads 2 \
+    --fault-rate 0.1 --fault-seed 7 --max-retries 16 \
+    --metrics-snapshot "$OBS_SNAP" > "$OBS_OUT"
+python3 - "$OBS_SNAP" "$OBS_OUT" <<'EOF'
+import json
+import re
+import sys
+
+snap = json.load(open(sys.argv[1]))
+out = open(sys.argv[2]).read()
+assert snap["schema"] == "dhub-obs-snapshot-v1", snap.get("schema")
+
+def table(label):
+    m = re.search(re.escape(label) + r"\s*: (\d+)", out)
+    assert m, f"missing Table 1 line {label!r}"
+    return int(m.group(1))
+
+checks = {
+    "dhub_crawl_raw_results_total": "search results (raw)",
+    "dhub_download_images_ok_total": "images downloaded",
+    "dhub_download_unique_layers_total": "unique compressed layers",
+    "dhub_download_layer_fetches_skipped_total": "layer fetches skipped (dedup)",
+    "dhub_download_retries_total": "transient retries",
+    "dhub_download_corrupt_retries_total": "- digest-verify refetches",
+    "dhub_download_gave_up_total": "retry give-ups",
+    "dhub_analyze_files_total": "files analyzed",
+}
+bad = []
+for counter, label in checks.items():
+    want = table(label)
+    got = snap["counters"].get(counter)
+    if got != want:
+        bad.append(f"{counter}={got} but Table 1 {label!r}={want}")
+if bad:
+    print("FAIL: snapshot does not reconcile with Table 1:", file=sys.stderr)
+    for b in bad:
+        print("  " + b, file=sys.stderr)
+    sys.exit(1)
+print(f"obs gate: {len(checks)} snapshot counters reconcile with Table 1")
+EOF
+rm -f "$OBS_SNAP" "$OBS_OUT"
+
+# The obs bench must at least run (the full download comparison is the
+# recorded BENCH_obs.json; here we smoke the cheap primitives only).
+echo "==> obs bench smoke"
+cargo bench --offline -p dhub-bench --bench obs -- \
+    bench_span_enter_exit bench_snapshot bench_render > /dev/null
+
 echo "==> dependency audit"
 # No references to the removed external crates anywhere in crate sources.
 if grep -rn "crossbeam\|parking_lot" crates/*/src; then

@@ -9,8 +9,11 @@
 
 use dhub_downloader::download_all_http_with;
 use dhub_faults::{FaultConfig, FaultInjector, RetryPolicy};
+use dhub_obs::{MetricsRegistry, MetricsSnapshot};
 use dhub_registry::RegistryServer;
-use dhub_study::pipeline::{run_study_streaming_with, run_study_with, StudyData};
+use dhub_study::pipeline::{
+    run_study_obs, run_study_streaming_obs, run_study_streaming_with, run_study_with, StudyData,
+};
 use dhub_synth::{generate_hub, SyntheticHub, SynthConfig};
 use std::sync::Arc;
 
@@ -114,6 +117,93 @@ fn streaming_pipeline_survives_the_same_chaos() {
     for (d, p) in &clean.layers {
         assert_eq!(faulted.layers.get(d), Some(p));
     }
+}
+
+/// Every counter the reports are derived from, checked against the report
+/// field it backs. A mismatch here means a code path updated one side
+/// without the other — exactly the drift the DeltaCounter design forbids.
+fn assert_counters_match_reports(snap: &MetricsSnapshot, s: &StudyData) {
+    let c = &s.crawl;
+    assert_eq!(snap.counter("dhub_crawl_pages_fetched_total"), c.pages_fetched as u64);
+    assert_eq!(snap.counter("dhub_crawl_page_retries_total"), c.page_retries as u64);
+    assert_eq!(snap.counter("dhub_crawl_pages_gave_up_total"), c.pages_gave_up as u64);
+    assert_eq!(snap.counter("dhub_crawl_raw_results_total"), c.raw_results as u64);
+    assert_eq!(snap.counter("dhub_crawl_dedup_hits_total"), c.dedup_hits as u64);
+    assert_eq!(snap.counter("dhub_crawl_backoff_ns_total"), c.backoff_sleep.as_nanos() as u64);
+
+    let d = &s.download;
+    assert_eq!(snap.counter("dhub_download_images_ok_total"), d.images_downloaded as u64);
+    assert_eq!(snap.counter("dhub_download_unique_layers_total"), d.unique_layers as u64);
+    assert_eq!(snap.counter("dhub_download_bytes_total"), d.bytes_fetched);
+    assert_eq!(
+        snap.counter("dhub_download_layer_fetches_skipped_total"),
+        d.layer_fetches_skipped
+    );
+    assert_eq!(snap.counter("dhub_download_failed_auth_total"), d.failed_auth as u64);
+    assert_eq!(snap.counter("dhub_download_failed_no_latest_total"), d.failed_no_latest as u64);
+    assert_eq!(snap.counter("dhub_download_failed_other_total"), d.failed_other as u64);
+    assert_eq!(snap.counter("dhub_download_retries_total"), d.retries as u64);
+    assert_eq!(snap.counter("dhub_download_gave_up_total"), d.gave_up as u64);
+    assert_eq!(snap.counter("dhub_download_corrupt_retries_total"), d.corrupt_retries as u64);
+    assert_eq!(
+        snap.counter("dhub_download_backoff_ns_total"),
+        d.backoff_sleep.as_nanos() as u64
+    );
+    assert_eq!(
+        snap.counter("dhub_download_sim_transfer_ns_total"),
+        d.simulated_transfer.as_nanos() as u64
+    );
+
+    assert_eq!(snap.counter("dhub_analyze_layers_total"), s.layers.len() as u64);
+    assert_eq!(snap.counter("dhub_analyze_errors_total"), s.analyze_errors as u64);
+    let total_files: u64 = s.layer_slice().iter().map(|l| l.file_count).sum();
+    assert_eq!(snap.counter("dhub_analyze_files_total"), total_files);
+}
+
+#[test]
+fn obs_counters_reconcile_with_reports_at_every_fault_rate() {
+    for rate in [0.0, 0.05, 0.20] {
+        let obs = MetricsRegistry::new();
+        let s = run_study_obs(&faulted_hub(rate), THREADS, &patient(), &obs);
+        assert_counters_match_reports(&obs.snapshot(), &s);
+    }
+}
+
+#[test]
+fn streaming_obs_counters_reconcile_too() {
+    let obs = MetricsRegistry::new();
+    let s = run_study_streaming_obs(&faulted_hub(0.20), THREADS, &patient(), &obs);
+    assert_counters_match_reports(&obs.snapshot(), &s);
+}
+
+#[test]
+fn obs_counters_identical_across_worker_counts() {
+    // Counters are exact (no sampling, no loss under contention), the
+    // fault stream is keyed per operation, and span ids are pure functions
+    // of (parent, name, key) — so everything except wall-clock span
+    // durations must be identical at 2 and 8 workers.
+    let obs2 = MetricsRegistry::new();
+    let a = run_study_obs(&faulted_hub(0.20), 2, &patient(), &obs2);
+    let obs8 = MetricsRegistry::new();
+    let b = run_study_obs(&faulted_hub(0.20), 8, &patient(), &obs8);
+
+    let (sa, sb) = (obs2.snapshot(), obs8.snapshot());
+    assert_eq!(sa.counters, sb.counters, "counter totals diverged across worker counts");
+    assert_eq!(sa.span_id_xor, sb.span_id_xor, "span-id digest diverged across worker counts");
+    assert_eq!(
+        sa.spans.keys().collect::<Vec<_>>(),
+        sb.spans.keys().collect::<Vec<_>>(),
+        "span name sets diverged"
+    );
+    for (name, span) in &sa.spans {
+        assert_eq!(
+            span.calls,
+            sb.spans[name].calls,
+            "span {name:?} call count diverged across worker counts"
+        );
+    }
+    assert_counters_match_reports(&sa, &a);
+    assert_counters_match_reports(&sb, &b);
 }
 
 #[test]
