@@ -13,8 +13,19 @@ use std::collections::BTreeSet;
 /// Common interface for all policies.
 pub trait CachePolicy {
     /// Records an access; returns true on hit. Objects larger than the
-    /// whole capacity are never admitted (and count as misses).
-    fn request(&mut self, key: u64, size: u64) -> bool;
+    /// whole capacity are never admitted (and count as misses). On a miss
+    /// that admits the object, every victim's key is pushed onto `evicted`
+    /// so callers that hold real bytes (the live mirror cache) can drop
+    /// exactly what the policy dropped.
+    fn request_evict(&mut self, key: u64, size: u64, evicted: &mut Vec<u64>) -> bool;
+
+    /// Records an access; returns true on hit. Convenience wrapper over
+    /// [`CachePolicy::request_evict`] for callers (trace simulation) that
+    /// only track bookkeeping, not bytes.
+    fn request(&mut self, key: u64, size: u64) -> bool {
+        let mut evicted = Vec::new();
+        self.request_evict(key, size, &mut evicted)
+    }
 
     /// Bytes currently cached.
     fn used_bytes(&self) -> u64;
@@ -50,7 +61,7 @@ impl Lru {
 }
 
 impl CachePolicy for Lru {
-    fn request(&mut self, key: u64, size: u64) -> bool {
+    fn request_evict(&mut self, key: u64, size: u64, evicted: &mut Vec<u64>) -> bool {
         self.tick += 1;
         if let Some((old_tick, sz)) = self.entries.get(&key).copied() {
             self.order.remove(&(old_tick, key));
@@ -66,6 +77,7 @@ impl CachePolicy for Lru {
             self.order.remove(&(t, k));
             let (_, sz) = self.entries.remove(&k).expect("order and entries agree");
             self.used -= sz;
+            evicted.push(k);
         }
         self.entries.insert(key, (self.tick, size));
         self.order.insert((self.tick, key));
@@ -103,7 +115,7 @@ impl Lfu {
 }
 
 impl CachePolicy for Lfu {
-    fn request(&mut self, key: u64, size: u64) -> bool {
+    fn request_evict(&mut self, key: u64, size: u64, evicted: &mut Vec<u64>) -> bool {
         self.tick += 1;
         if let Some((freq, last, sz)) = self.entries.get(&key).copied() {
             self.order.remove(&(freq, last, key));
@@ -119,6 +131,7 @@ impl CachePolicy for Lfu {
             self.order.remove(&(f, t, k));
             let (_, _, sz) = self.entries.remove(&k).expect("consistent");
             self.used -= sz;
+            evicted.push(k);
         }
         self.entries.insert(key, (1, self.tick, size));
         self.order.insert((1, self.tick, key));
@@ -154,7 +167,7 @@ impl Fifo {
 }
 
 impl CachePolicy for Fifo {
-    fn request(&mut self, key: u64, size: u64) -> bool {
+    fn request_evict(&mut self, key: u64, size: u64, evicted: &mut Vec<u64>) -> bool {
         if self.entries.contains_key(&key) {
             return true;
         }
@@ -167,6 +180,7 @@ impl CachePolicy for Fifo {
             self.order.remove(&(t, k));
             let (_, sz) = self.entries.remove(&k).expect("consistent");
             self.used -= sz;
+            evicted.push(k);
         }
         self.entries.insert(key, (self.tick, size));
         self.order.insert((self.tick, key));
@@ -224,7 +238,7 @@ impl GreedyDualSizeFrequency {
 }
 
 impl CachePolicy for GreedyDualSizeFrequency {
-    fn request(&mut self, key: u64, size: u64) -> bool {
+    fn request_evict(&mut self, key: u64, size: u64, evicted: &mut Vec<u64>) -> bool {
         self.seq += 1;
         if let Some((prio, freq, sz, seq)) = self.entries.get(&key).copied() {
             self.order.remove(&(prio_bits(prio), seq, key));
@@ -243,6 +257,7 @@ impl CachePolicy for GreedyDualSizeFrequency {
             // Aging: future priorities start from the evicted priority.
             self.inflation = self.inflation.max(prio);
             self.used -= sz;
+            evicted.push(k);
         }
         let prio = self.priority(1, size);
         self.entries.insert(key, (prio, 1, size, self.seq));
@@ -345,6 +360,35 @@ mod tests {
         c.request(2, 80);
         assert!(!c.request(3, 500));
         assert!(c.request(2, 80));
+    }
+
+    #[test]
+    fn request_evict_reports_every_victim() {
+        fn check(mut c: impl CachePolicy) {
+            use std::collections::BTreeSet;
+            let mut resident: BTreeSet<u64> = BTreeSet::new();
+            for i in 0..500u64 {
+                let key = (i * 7919) % 41;
+                let size = 20 + (i % 70);
+                let mut evicted = Vec::new();
+                let hit = c.request_evict(key, size, &mut evicted);
+                for v in &evicted {
+                    assert!(resident.remove(v), "evicted {v} was not resident");
+                    assert_ne!(*v, key, "evicted the item just inserted");
+                }
+                if hit {
+                    assert!(evicted.is_empty(), "hits must not evict");
+                } else if size <= c.capacity() {
+                    resident.insert(key);
+                }
+                assert_eq!(resident.len(), c.len(), "shadow model diverged");
+                assert!(c.used_bytes() <= c.capacity());
+            }
+        }
+        check(Lru::new(500));
+        check(Lfu::new(500));
+        check(Fifo::new(500));
+        check(GreedyDualSizeFrequency::new(500));
     }
 
     #[test]

@@ -55,3 +55,76 @@ proptest! {
         prop_assert!(hb >= hs, "big {hb} < small {hs}");
     }
 }
+
+/// Replays `trace` through `request_evict` against a shadow resident-set
+/// model. These are the *same policy objects* `dhub-mirror`'s `LiveCache`
+/// wraps for concurrent serving, so every property here is a property of
+/// the live mirror cache too: the byte budget holds after every step, an
+/// eviction pass never names the key being admitted, every victim was
+/// resident, and the policy's bookkeeping (len / used_bytes) matches the
+/// model exactly.
+fn check_evict_model(mut c: impl CachePolicy, trace: &[(u64, u64)]) -> Result<(), TestCaseError> {
+    use std::collections::BTreeMap;
+    // key → size at admission (hits never resize; see policy.rs).
+    let mut resident: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(k, s) in trace {
+        let mut evicted = Vec::new();
+        let hit = c.request_evict(k, s, &mut evicted);
+        prop_assert_eq!(hit, resident.contains_key(&k), "hit/miss disagrees with model");
+        prop_assert!(!evicted.contains(&k), "policy evicted the key it just admitted");
+        if hit {
+            prop_assert!(evicted.is_empty(), "a hit must not evict");
+        }
+        for v in &evicted {
+            prop_assert!(resident.remove(v).is_some(), "victim {} was not resident", v);
+        }
+        if !hit && s <= c.capacity() {
+            resident.insert(k, s);
+        }
+        prop_assert_eq!(c.len(), resident.len());
+        prop_assert_eq!(c.used_bytes(), resident.values().sum::<u64>());
+        prop_assert!(c.used_bytes() <= c.capacity(), "over budget");
+    }
+    Ok(())
+}
+
+/// Every request is exactly one hit or one miss: `CacheStats` partitions
+/// the trace, so hits plus (requests − hits) misses equals its length.
+fn check_stats(mut p: impl CachePolicy, trace: &dhub_cache::PullTrace) -> Result<(), TestCaseError> {
+    let stats = dhub_cache::simulate(&mut p, trace);
+    prop_assert_eq!(stats.requests, trace.requests.len() as u64);
+    prop_assert!(stats.hits <= stats.requests);
+    let misses = stats.requests - stats.hits;
+    prop_assert_eq!(stats.hits + misses, trace.requests.len() as u64);
+    prop_assert_eq!(stats.byte_total, trace.total_bytes);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `request_evict` victim reporting is model-consistent for all four
+    /// policies (the live mirror cache relies on this to keep its byte
+    /// store in lockstep with the policy).
+    #[test]
+    fn evict_reporting_matches_model(trace in arb_trace(), cap in 1u64..2000) {
+        check_evict_model(Lru::new(cap), &trace)?;
+        check_evict_model(Lfu::new(cap), &trace)?;
+        check_evict_model(Fifo::new(cap), &trace)?;
+        check_evict_model(GreedyDualSizeFrequency::new(cap), &trace)?;
+    }
+
+    /// Simulation accounting: every request is exactly one hit or one
+    /// miss — `CacheStats` hits plus misses equals the trace length, for
+    /// every policy and any trace.
+    #[test]
+    fn stats_partition_the_trace(requests in arb_trace(), cap in 1u64..2000) {
+        use dhub_cache::PullTrace;
+        let total_bytes = requests.iter().map(|&(_, s)| s).sum();
+        let trace = PullTrace { requests, total_bytes };
+        check_stats(Lru::new(cap), &trace)?;
+        check_stats(Lfu::new(cap), &trace)?;
+        check_stats(Fifo::new(cap), &trace)?;
+        check_stats(GreedyDualSizeFrequency::new(cap), &trace)?;
+    }
+}

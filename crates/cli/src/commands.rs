@@ -39,10 +39,17 @@ OPTIONS (all commands):
   --scale N                 size divisor (1/N)         [default 128]
   --threads N               worker threads             [default: cores]
 
-FAULT INJECTION (report, summary, pull, tags, cache-sim, carve, store):
+FAULT INJECTION (report, summary, pull, tags, serve, cache-sim, carve, store):
   --fault-rate F            per-operation fault probability 0..1 [default 0]
   --fault-seed N            fault-plan seed (replayable)         [default 0]
   --max-retries N           retry budget per operation           [default 4]
+
+MIRROR MODE (serve):
+  --mirror-of A,B,...       serve as a pull-through mirror of the given
+                            origin registries (comma-separated addresses)
+                            instead of a local hub
+  --cache-bytes N           mirror cache byte budget     [default 64 MiB]
+  --cache-policy P          lru | lfu | gdsf             [default lru]
 
 OBSERVABILITY (report, summary, pull, tags, cache-sim, carve, store):
   --metrics                 print Prometheus-style exposition when done,
@@ -224,7 +231,7 @@ fn cmd_pull(args: &Parsed, out: &mut impl Write) -> CmdResult {
     // counters (`dhub_http_*`) the pull generated.
     let obs = Arc::new(MetricsRegistry::new());
     let server =
-        dhub_registry::RegistryServer::start_full(hub.registry.clone(), injector, obs.clone())?;
+        dhub_registry::RegistryServer::start_full(hub.registry.clone(), injector, obs.clone(), dhub_registry::DEFAULT_MAX_CONNS)?;
     let client = dhub_registry::RemoteRegistry::connect(server.addr()).with_retry_policy(policy);
     let (digest, manifest) = client.get_manifest(&repo, tag)?;
     writeln!(out, "manifest {digest} ({} layers)", manifest.layers.len())?;
@@ -254,7 +261,7 @@ fn cmd_tags(args: &Parsed, out: &mut impl Write) -> CmdResult {
     let (injector, policy) = fault_setup(args)?;
     let obs = Arc::new(MetricsRegistry::new());
     let server =
-        dhub_registry::RegistryServer::start_full(hub.registry.clone(), injector, obs.clone())?;
+        dhub_registry::RegistryServer::start_full(hub.registry.clone(), injector, obs.clone(), dhub_registry::DEFAULT_MAX_CONNS)?;
     let client = dhub_registry::RemoteRegistry::connect(server.addr()).with_retry_policy(policy);
     for tag in client.tags(&repo)? {
         writeln!(out, "{tag}")?;
@@ -264,8 +271,47 @@ fn cmd_tags(args: &Parsed, out: &mut impl Write) -> CmdResult {
 }
 
 fn cmd_serve(args: &Parsed, out: &mut impl Write) -> CmdResult {
-    let hub = hub_for(args, out)?;
-    let server = dhub_registry::RegistryServer::start(hub.registry.clone())?;
+    let mirror_of = args.str("mirror-of", "");
+    let server = if mirror_of.is_empty() {
+        // Direct origin mode; --fault-rate makes it a flaky upstream worth
+        // putting a mirror in front of.
+        let hub = hub_for(args, out)?;
+        let (injector, _) = fault_setup(args)?;
+        dhub_registry::RegistryServer::start_with_faults(hub.registry.clone(), injector)?
+    } else {
+        // Pull-through mirror mode: no local hub, every object comes from
+        // the comma-separated origin shards (DESIGN.md §6e).
+        let mut origins = Vec::new();
+        for part in mirror_of.split(',') {
+            let addr: std::net::SocketAddr = part.trim().parse().map_err(|_| {
+                crate::ArgError::BadValue { key: "mirror-of".into(), value: part.trim().into() }
+            })?;
+            origins.push(addr);
+        }
+        let policy_name = args.str("cache-policy", "lru");
+        let policy = dhub_mirror::PolicyKind::parse(&policy_name).ok_or_else(|| {
+            crate::ArgError::BadValue { key: "cache-policy".into(), value: policy_name.clone() }
+        })?;
+        let cache_bytes = args.num("cache-bytes", 64u64 << 20)?;
+        let obs = Arc::new(MetricsRegistry::new());
+        let mirror = Arc::new(dhub_mirror::Mirror::new(
+            &origins,
+            dhub_mirror::MirrorConfig::new(cache_bytes, policy),
+            obs.clone(),
+        ));
+        let server = dhub_registry::RegistryServer::start_mirror(
+            mirror,
+            obs,
+            dhub_registry::DEFAULT_MAX_CONNS,
+        )?;
+        writeln!(
+            out,
+            "mirror ({} cache, {} MiB) fronting {mirror_of}",
+            policy.name(),
+            cache_bytes >> 20
+        )?;
+        server
+    };
     writeln!(out, "registry listening on http://{}", server.addr())?;
     writeln!(out, "try: curl http://{}/v2/nginx/tags/list", server.addr())?;
     // Serve until interrupted.

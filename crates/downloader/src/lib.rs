@@ -438,6 +438,24 @@ pub fn download_all_http_with(
     download_all_http_obs(addr, repos, threads, policy, &MetricsRegistry::new())
 }
 
+/// Pull-through-mirror spelling of [`download_all_http_obs`]. A mirror
+/// started with `RegistryServer::start_mirror` speaks the exact same
+/// Registry V2 wire protocol as an origin, so "downloading through the
+/// mirror" is nothing more than pointing the HTTP downloader at the
+/// mirror's address — the alias exists so call sites state the topology
+/// they mean. Results are byte-identical to pulling from the origin
+/// directly; only latency (edge hits skip the origin round-trip) and the
+/// `dhub_mirror_*` counters differ.
+pub fn download_all_mirror_obs(
+    mirror_addr: std::net::SocketAddr,
+    repos: &[RepoName],
+    threads: usize,
+    policy: &RetryPolicy,
+    obs: &MetricsRegistry,
+) -> DownloadResult {
+    download_all_http_obs(mirror_addr, repos, threads, policy, obs)
+}
+
 /// [`download_all_http_with`] recording into `obs` — same counter-derived
 /// report contract as [`download_all_obs`].
 pub fn download_all_http_obs(

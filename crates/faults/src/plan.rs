@@ -138,6 +138,16 @@ impl FaultConfig {
         FaultConfig::uniform(0, 0.0)
     }
 
+    /// A plan that fires exactly one fault kind at the given rate on every
+    /// operation — the shape every targeted fault test wants (previously
+    /// hand-rolled in each test module as an `only(kind)` helper).
+    pub fn only(seed: u64, rate: f64, kind: FaultKind) -> FaultConfig {
+        let mut cfg = FaultConfig::uniform(seed, rate);
+        cfg.weights = [0; 7];
+        cfg.weights[kind.index()] = 1;
+        cfg
+    }
+
     /// Sets the rate for one operation (builder-style).
     pub fn with_rate(mut self, op: FaultOp, rate: f64) -> FaultConfig {
         self.rates[op.index()] = rate;

@@ -1,0 +1,30 @@
+//! `dhub-mirror`: a live pull-through mirror/edge-cache tier in front of
+//! origin registries.
+//!
+//! The paper's Fig. 8 discussion concludes Docker Hub "is a good fit for
+//! caching popular repositories or images", and `dhub-cache` replays that
+//! insight offline against synthetic pull traces. This crate promotes it
+//! to a *serving* tier in the shape of Anwar et al.'s two-tier registry
+//! cache (FAST '18): an edge mirror that absorbs popularity-skewed pulls
+//! and only falls through to origin on misses.
+//!
+//! Three pieces (DESIGN.md §6e):
+//!
+//! * [`LiveCache`] — the `dhub-cache` policies (LRU/LFU/GDSF) wrapped in
+//!   `dhub-sync` striped locks with real bytes behind them, byte-capacity
+//!   bounded, victims reported by the policy itself;
+//! * [`HashRing`] — deterministic consistent hashing over N origin
+//!   shards, giving each key a primary and a failover order;
+//! * [`Mirror`] — the pull-through tier: single-flight miss coalescing,
+//!   per-shard health + `dhub-faults` retry/backoff, failover, and full
+//!   `dhub_mirror_*` observability. It implements `dhub-registry`'s
+//!   `MirrorBackend`, so `RegistryServer::start_mirror` serves it over
+//!   real TCP and the whole study pipeline can pull through it.
+
+pub mod cache;
+pub mod mirror;
+pub mod ring;
+
+pub use cache::{AdmitOutcome, LiveCache, PolicyKind};
+pub use mirror::{Mirror, MirrorConfig, MirrorReport};
+pub use ring::HashRing;

@@ -1,0 +1,113 @@
+//! Consistent-hash ring over origin shards.
+//!
+//! The mirror spreads keys over N origin registries with a classic
+//! vnode-based hash ring: each shard owns `vnodes` points on a u64 circle,
+//! a key routes to the first point clockwise from its hash, and the
+//! failover order for a key is the distinct-shard order walking the ring
+//! from there. Point positions derive from [`fault_key`] of a fixed
+//! `"shard-{i}/vnode-{v}"` string, so the layout is a pure function of
+//! (shard count, vnodes): every process — server, test, bench — agrees on
+//! which shard is primary for a key.
+
+use dhub_faults::fault_key;
+
+/// A consistent-hash ring mapping u64 keys to shard indices `0..shards`.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// (point, shard) sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` points per shard. At least one shard
+    /// and one vnode.
+    pub fn new(shards: usize, vnodes: usize) -> HashRing {
+        let shards = shards.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for v in 0..vnodes {
+                let point = fault_key(format!("shard-{shard}/vnode-{v}").as_bytes());
+                points.push((point, shard));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        HashRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key` (the first ring point clockwise of it).
+    pub fn primary(&self, key: u64) -> usize {
+        self.route(key)[0]
+    }
+
+    /// The full failover order for `key`: every shard exactly once, the
+    /// primary first, replicas in ring-walk order after it.
+    pub fn route(&self, key: u64) -> Vec<usize> {
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let mut order = Vec::with_capacity(self.shards);
+        let mut seen = vec![false; self.shards];
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_covers_every_shard_once() {
+        let ring = HashRing::new(4, 16);
+        for key in [0u64, 1, 42, u64::MAX, fault_key(b"abc")] {
+            let order = ring.route(key);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "order {order:?} for key {key}");
+        }
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let a = HashRing::new(3, 32);
+        let b = HashRing::new(3, 32);
+        for key in 0..1000u64 {
+            assert_eq!(a.route(key * 7919), b.route(key * 7919));
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let ring = HashRing::new(4, 128);
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            counts[ring.primary(fault_key(&key.to_le_bytes()))] += 1;
+        }
+        // Consistent hashing balances statistically, not perfectly; with
+        // 128 vnodes per shard no shard should fall under a 10% share.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 400, "shard {i} got only {c}/4000 keys");
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_routes_everything_to_it() {
+        let ring = HashRing::new(1, 8);
+        assert_eq!(ring.route(12345), vec![0]);
+    }
+}

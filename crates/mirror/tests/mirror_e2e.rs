@@ -1,0 +1,260 @@
+//! End-to-end tests for the pull-through mirror tier: real TCP origins,
+//! single-flight coalescing, ring failover with a dead shard, the
+//! credentialed-bypass rule, and exact reconciliation of the
+//! `dhub_mirror_*` counters against the report and the Prometheus
+//! exposition a mirror-mode server scrapes out.
+
+use dhub_faults::{FaultConfig, FaultInjector, FaultKind, RetryPolicy};
+use dhub_mirror::{Mirror, MirrorConfig, PolicyKind};
+use dhub_model::{Digest, LayerRef, Manifest, RepoName};
+use dhub_obs::MetricsRegistry;
+use dhub_registry::{BackendError, MirrorBackend, Registry, RegistryServer, RemoteRegistry};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An origin registry with `n` public repos (one blob each) plus one
+/// auth-required repo.
+fn origin_registry(n: usize) -> Arc<Registry> {
+    let reg = Registry::new();
+    for i in 0..n {
+        let repo = RepoName::official(&format!("repo{i}"));
+        reg.create_repo(repo.clone(), false);
+        let blob = format!("blob-bytes-{i}").into_bytes();
+        let manifest =
+            Manifest::new(vec![LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 }]);
+        reg.push_image(&repo, "latest", &manifest, vec![blob]).unwrap();
+    }
+    let private = RepoName::user("corp", "secret");
+    reg.create_repo(private.clone(), true);
+    let pblob = b"private-bytes".to_vec();
+    let pm = Manifest::new(vec![LayerRef { digest: Digest::of(&pblob), size: pblob.len() as u64 }]);
+    reg.push_image(&private, "latest", &pm, vec![pblob]).unwrap();
+    Arc::new(reg)
+}
+
+fn manifest_for(reg: &Registry, name: &str) -> (RepoName, Manifest) {
+    let repo = RepoName::official(name);
+    let sess = reg.get_manifest(&repo, "latest", false).unwrap();
+    (repo, sess.manifest.clone())
+}
+
+fn parse_exposition(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line:?}"));
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("non-numeric in {line:?}"));
+        out.insert(name.to_string(), value);
+    }
+    out
+}
+
+#[test]
+fn mirror_serves_origin_objects_and_caches_them() {
+    let reg = origin_registry(3);
+    let origin = RegistryServer::start(reg.clone()).unwrap();
+    let obs = Arc::new(MetricsRegistry::new());
+    let mirror = Mirror::new(
+        &[origin.addr()],
+        MirrorConfig::new(1 << 20, PolicyKind::Lru),
+        obs.clone(),
+    );
+
+    let (repo, manifest) = manifest_for(&reg, "repo0");
+    let (digest, bytes) = mirror.fetch_manifest(&repo, "latest", false).unwrap();
+    assert_eq!(digest, Digest::of(&bytes));
+    assert_eq!(Manifest::from_json(std::str::from_utf8(&bytes).unwrap()).unwrap(), manifest);
+
+    let layer = &manifest.layers[0];
+    let blob = mirror.fetch_blob(&repo, &layer.digest, false).unwrap();
+    assert_eq!(Digest::of(&blob), layer.digest);
+
+    // Second round: both served from cache, origin untouched.
+    let fetches_before = mirror.report().origin_fetches;
+    mirror.fetch_manifest(&repo, "latest", false).unwrap();
+    mirror.fetch_blob(&repo, &layer.digest, false).unwrap();
+    let r = mirror.report();
+    assert_eq!(r.origin_fetches, fetches_before, "warm hits must not touch origin");
+    assert_eq!(r.hits, 2);
+    assert_eq!(r.misses, 2);
+    assert_eq!(r.requests, r.hits + r.misses + r.coalesced);
+    assert!(r.hit_bytes > 0 && r.miss_bytes > 0);
+}
+
+#[test]
+fn concurrent_misses_coalesce_into_one_origin_fetch() {
+    let reg = origin_registry(1);
+    // Every origin request stalls 300 ms: a wide window for the follower
+    // threads to pile onto the leader's flight.
+    let slow = FaultInjector::new(
+        FaultConfig::only(7, 1.0, FaultKind::SlowLink).with_slow_link(Duration::from_millis(300)),
+    );
+    let origin = RegistryServer::start_with_faults(reg.clone(), Some(Arc::new(slow))).unwrap();
+    let obs = Arc::new(MetricsRegistry::new());
+    let mirror = Arc::new(Mirror::new(
+        &[origin.addr()],
+        MirrorConfig::new(1 << 20, PolicyKind::Lru),
+        obs.clone(),
+    ));
+
+    let (repo, manifest) = manifest_for(&reg, "repo0");
+    let digest = manifest.layers[0].digest;
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let m = Arc::clone(&mirror);
+            let repo = repo.clone();
+            std::thread::spawn(move || m.fetch_blob(&repo, &digest, false).unwrap())
+        })
+        .collect();
+    let blobs: Vec<Vec<u8>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    for b in &blobs {
+        assert_eq!(Digest::of(b), digest);
+    }
+
+    let r = mirror.report();
+    assert_eq!(r.misses, 1, "one leader");
+    assert_eq!(r.coalesced, 3, "three followers");
+    assert_eq!(r.origin_fetches, 1, "exactly one origin round-trip");
+    assert_eq!(r.requests, 4);
+    assert_eq!(r.requests, r.hits + r.misses + r.coalesced);
+}
+
+#[test]
+fn dead_shard_fails_over_and_is_marked_down() {
+    let reg = origin_registry(12);
+    let origin_live = RegistryServer::start(reg.clone()).unwrap();
+    let origin_dead = RegistryServer::start(reg.clone()).unwrap();
+    let dead_addr = origin_dead.addr();
+    origin_dead.shutdown(); // permanent connection-refused on this address
+
+    let obs = Arc::new(MetricsRegistry::new());
+    let mirror = Mirror::new(
+        &[dead_addr, origin_live.addr()],
+        MirrorConfig::new(1 << 20, PolicyKind::Gdsf)
+            .with_retry(RetryPolicy::fast(1).with_seed(7))
+            .with_down_after(2),
+        obs.clone(),
+    );
+    assert_eq!(mirror.origin_health(), vec![true, true]);
+
+    // Every object must still serve; keys whose primary is the dead shard
+    // exercise failover.
+    for i in 0..12 {
+        let (repo, manifest) = manifest_for(&reg, &format!("repo{i}"));
+        let (_, bytes) = mirror.fetch_manifest(&repo, "latest", false).unwrap();
+        assert!(!bytes.is_empty());
+        let blob = mirror.fetch_blob(&repo, &manifest.layers[0].digest, false).unwrap();
+        assert_eq!(Digest::of(&blob), manifest.layers[0].digest);
+    }
+
+    let r = mirror.report();
+    assert!(r.failovers > 0, "some primaries must have been the dead shard");
+    assert!(r.origin_errors > 0);
+    assert_eq!(mirror.origin_health(), vec![false, true], "dead shard marked down");
+    assert_eq!(obs.gauge_value("dhub_mirror_origin_up_0"), 0.0);
+    assert_eq!(obs.gauge_value("dhub_mirror_origin_up_1"), 1.0);
+    // Every request still resolved exactly once.
+    assert_eq!(r.requests, r.hits + r.misses + r.coalesced);
+}
+
+#[test]
+fn credentialed_requests_bypass_the_shared_cache() {
+    let reg = origin_registry(1);
+    let origin = RegistryServer::start(reg.clone()).unwrap();
+    let obs = Arc::new(MetricsRegistry::new());
+    let mirror = Mirror::new(
+        &[origin.addr()],
+        MirrorConfig::new(1 << 20, PolicyKind::Lru),
+        obs.clone(),
+    );
+
+    let private = RepoName::user("corp", "secret");
+    // Anonymous: origin's 401 propagates as AuthRequired, nothing cached.
+    assert_eq!(
+        mirror.fetch_manifest(&private, "latest", false).unwrap_err(),
+        BackendError::AuthRequired
+    );
+    assert_eq!(mirror.cached_bytes(), 0, "errors are never cached");
+
+    // Credentialed: served via the token dance, still nothing cached.
+    let (digest, bytes) = mirror.fetch_manifest(&private, "latest", true).unwrap();
+    assert_eq!(digest, Digest::of(&bytes));
+    let manifest = Manifest::from_json(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    let blob = mirror.fetch_blob(&private, &manifest.layers[0].digest, true).unwrap();
+    assert_eq!(blob, b"private-bytes");
+    assert_eq!(mirror.cached_bytes(), 0, "private bytes never enter the shared cache");
+}
+
+#[test]
+fn eviction_keeps_live_cache_inside_budget() {
+    let reg = origin_registry(30);
+    let origin = RegistryServer::start(reg.clone()).unwrap();
+    let obs = Arc::new(MetricsRegistry::new());
+    // Tiny budget: 2 stripes, forcing evictions as 30 blobs pull through.
+    let mut cfg = MirrorConfig::new(128, PolicyKind::Lru);
+    cfg.stripes = 2;
+    let mirror = Mirror::new(&[origin.addr()], cfg, obs.clone());
+
+    for i in 0..30 {
+        let (repo, manifest) = manifest_for(&reg, &format!("repo{i}"));
+        mirror.fetch_blob(&repo, &manifest.layers[0].digest, false).unwrap();
+        assert!(mirror.cached_bytes() <= 128, "budget exceeded");
+    }
+    assert!(mirror.report().evictions > 0, "evictions must have fired");
+}
+
+#[test]
+fn mirror_server_reconciles_report_snapshot_and_exposition() {
+    let reg = origin_registry(6);
+    let origin = RegistryServer::start(reg.clone()).unwrap();
+    let obs = Arc::new(MetricsRegistry::new());
+    let mirror = Arc::new(Mirror::new(
+        &[origin.addr()],
+        MirrorConfig::new(1 << 20, PolicyKind::Lfu),
+        obs.clone(),
+    ));
+    let front =
+        RegistryServer::start_mirror(mirror.clone(), obs.clone(), dhub_registry::DEFAULT_MAX_CONNS)
+            .unwrap();
+
+    // Pull everything through the mirror over real TCP, twice (cold+warm).
+    let client = RemoteRegistry::connect_anonymous(front.addr());
+    for _round in 0..2 {
+        for i in 0..6 {
+            let repo = RepoName::official(&format!("repo{i}"));
+            let (digest, manifest) = client.get_manifest(&repo, "latest").unwrap();
+            assert_eq!(digest, manifest.digest());
+            let blob = client.get_blob(&repo, &manifest.layers[0].digest).unwrap();
+            assert_eq!(Digest::of(&blob), manifest.layers[0].digest);
+        }
+    }
+
+    let r = mirror.report();
+    assert_eq!(r.requests, 24, "6 manifests + 6 blobs, two rounds");
+    assert_eq!(r.hits + r.misses + r.coalesced, r.requests);
+    assert_eq!(r.misses, 12, "cold round misses everything");
+    assert_eq!(r.hits, 12, "warm round hits everything");
+
+    // Report == registry counters == snapshot == Prometheus exposition.
+    let checks: [(&str, u64); 10] = [
+        ("dhub_mirror_requests_total", r.requests),
+        ("dhub_mirror_hits_total", r.hits),
+        ("dhub_mirror_misses_total", r.misses),
+        ("dhub_mirror_coalesced_total", r.coalesced),
+        ("dhub_mirror_hit_bytes_total", r.hit_bytes),
+        ("dhub_mirror_miss_bytes_total", r.miss_bytes),
+        ("dhub_mirror_evictions_total", r.evictions),
+        ("dhub_mirror_failovers_total", r.failovers),
+        ("dhub_mirror_origin_fetches_total", r.origin_fetches),
+        ("dhub_mirror_origin_errors_total", r.origin_errors),
+    ];
+    let snap = obs.snapshot();
+    let exposition = parse_exposition(&client.metrics_text().unwrap());
+    for (name, want) in checks {
+        assert_eq!(obs.counter_value(name), want, "{name} vs report");
+        assert_eq!(snap.counter(name), want, "{name} vs snapshot");
+        assert_eq!(exposition.get(name).copied(), Some(want as f64), "{name} vs exposition");
+    }
+    assert_eq!(exposition.get("dhub_mirror_origin_up_0").copied(), Some(1.0));
+    front.shutdown();
+}

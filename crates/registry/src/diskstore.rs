@@ -70,7 +70,8 @@ impl DiskBlobStore {
         if path.exists() {
             return Ok(digest);
         }
-        std::fs::create_dir_all(path.parent().expect("blob path has parent"))?;
+        let parent = path.parent().expect("blob path has parent");
+        std::fs::create_dir_all(parent)?;
         // Atomic publish: write to a temp name, then rename.
         let tmp = path.with_extension("tmp");
         {
@@ -79,6 +80,14 @@ impl DiskBlobStore {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, &path)?;
+        // Crash-consistency contract: `sync_all` above makes the *bytes*
+        // durable and the rename makes the publish atomic, but the new
+        // directory entry itself lives in the parent directory's data and
+        // is not durable until the directory is fsynced. Without this, a
+        // crash after `put` returns can lose the blob entirely (file data
+        // on disk, no name pointing at it). fsync the parent so a
+        // successful `put` means the blob survives power loss.
+        std::fs::File::open(parent)?.sync_all()?;
         Ok(digest)
     }
 

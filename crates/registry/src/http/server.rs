@@ -15,6 +15,7 @@ use dhub_faults::{fault_key, FaultInjector, FaultKind, FaultOp};
 use dhub_json::Json;
 use dhub_model::{Digest, RepoName};
 use dhub_obs::MetricsRegistry;
+use dhub_sync::{Semaphore, SemaphorePermit};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,6 +31,60 @@ pub struct RegistryServer {
 /// The bearer token this simulation's `/token` endpoint issues. A real
 /// registry mints signed JWTs; the study only needs the protocol shape.
 pub const DEMO_TOKEN: &str = "dhub-demo-token";
+
+/// Default cap on concurrent connection handler threads. Generous next to
+/// the study's bounded worker crews; the point is that it exists at all,
+/// so a connection flood sheds load instead of spawning without limit.
+pub const DEFAULT_MAX_CONNS: usize = 256;
+
+/// Why a mirror backend could not produce the requested object. Maps onto
+/// the registry V2 status codes the front end answers with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// Origin demands credentials the request did not carry → 401 + challenge.
+    AuthRequired,
+    /// Origin says the repo/tag/blob does not exist → 404.
+    NotFound,
+    /// Origin is rate limiting → 429 (retryable for the client).
+    RateLimited,
+    /// Origin unreachable or erroring after retries/failover → 503.
+    Unavailable,
+}
+
+/// What a mirror-mode [`RegistryServer`] serves from: something that can
+/// produce manifests/blobs/tags on demand (`dhub-mirror`'s pull-through
+/// cache implements this). Manifest bytes are the canonical `to_json`
+/// encoding, so the digest the backend returns must match
+/// `Digest::of(bytes)` — clients verify it against the
+/// `docker-content-digest` header exactly as they do against an origin.
+pub trait MirrorBackend: Send + Sync {
+    /// Resolves a manifest by tag/digest reference.
+    fn fetch_manifest(
+        &self,
+        repo: &RepoName,
+        reference: &str,
+        authed: bool,
+    ) -> Result<(Digest, Vec<u8>), BackendError>;
+
+    /// Fetches a blob by digest.
+    fn fetch_blob(
+        &self,
+        repo: &RepoName,
+        digest: &Digest,
+        authed: bool,
+    ) -> Result<Vec<u8>, BackendError>;
+
+    /// Lists a repository's tags.
+    fn tags(&self, repo: &RepoName, authed: bool) -> Result<Vec<String>, BackendError>;
+}
+
+/// What sits behind the HTTP front: a local in-process registry (optionally
+/// fault-injected) or a pull-through mirror. Wire faults only apply to the
+/// local flavor — a mirror's faults live at its origins.
+enum Backend {
+    Local { registry: Arc<Registry>, faults: Option<Arc<FaultInjector>> },
+    Mirror(Arc<dyn MirrorBackend>),
+}
 
 impl RegistryServer {
     /// Binds to `127.0.0.1:0` (ephemeral port) and starts serving.
@@ -47,38 +102,71 @@ impl RegistryServer {
         registry: Arc<Registry>,
         faults: Option<Arc<FaultInjector>>,
     ) -> std::io::Result<RegistryServer> {
-        RegistryServer::start_full(registry, faults, MetricsRegistry::global())
+        RegistryServer::start_full(registry, faults, MetricsRegistry::global(), DEFAULT_MAX_CONNS)
     }
 
-    /// The fully explicit constructor: fault injector and the metrics
+    /// The fully explicit constructor: fault injector, the metrics
     /// registry this server records into — and serves back, live, at
-    /// `GET /metrics` in Prometheus text exposition. Handing in the same
-    /// registry a study run records into makes the endpoint a window onto
-    /// the whole pipeline, not just the HTTP front.
+    /// `GET /metrics` in Prometheus text exposition — and the cap on
+    /// concurrent connection handlers. Handing in the same registry a
+    /// study run records into makes the endpoint a window onto the whole
+    /// pipeline, not just the HTTP front.
     pub fn start_full(
         registry: Arc<Registry>,
         faults: Option<Arc<FaultInjector>>,
         metrics: Arc<MetricsRegistry>,
+        max_conns: usize,
+    ) -> std::io::Result<RegistryServer> {
+        RegistryServer::start_backend(Backend::Local { registry, faults }, metrics, max_conns)
+    }
+
+    /// Starts a mirror-mode server: every manifest/blob/tags request is
+    /// answered by `backend` (a pull-through cache over origin registries)
+    /// instead of a local [`Registry`]. `/token`, `/v2/` and `/metrics`
+    /// behave exactly as in local mode.
+    pub fn start_mirror(
+        backend: Arc<dyn MirrorBackend>,
+        metrics: Arc<MetricsRegistry>,
+        max_conns: usize,
+    ) -> std::io::Result<RegistryServer> {
+        RegistryServer::start_backend(Backend::Mirror(backend), metrics, max_conns)
+    }
+
+    fn start_backend(
+        backend: Backend,
+        metrics: Arc<MetricsRegistry>,
+        max_conns: usize,
     ) -> std::io::Result<RegistryServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         listener.set_nonblocking(true)?;
+        let backend = Arc::new(backend);
+        // Admission control: one permit per live connection handler. When
+        // the cap is reached the acceptor sheds the connection with an
+        // immediate 503 instead of spawning yet another thread.
+        let conn_permits = Semaphore::new(max_conns);
         let accept_thread = std::thread::Builder::new()
             .name("dhub-registry-http".into())
             .spawn(move || {
                 while !stop2.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => {
-                            let reg = registry.clone();
-                            let inj = faults.clone();
+                        Ok((mut stream, _)) => {
+                            let Some(permit) = conn_permits.try_acquire() else {
+                                metrics.counter("dhub_http_rejected_overload_total").inc();
+                                let resp = json_error(503, "OVERLOADED")
+                                    .with_header("connection", "close");
+                                let _ = resp.write_to(&mut stream);
+                                continue;
+                            };
+                            let be = backend.clone();
                             let met = metrics.clone();
-                            // Thread-per-connection: plenty for the study's
-                            // bounded worker crews.
+                            // Thread-per-connection, bounded by the permit
+                            // the handler carries until it returns.
                             let _ = std::thread::Builder::new()
                                 .name("dhub-registry-conn".into())
-                                .spawn(move || handle_connection(stream, reg, inj, met));
+                                .spawn(move || handle_connection(stream, be, met, permit));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(std::time::Duration::from_millis(2));
@@ -127,9 +215,9 @@ enum Routed {
 
 fn handle_connection(
     mut stream: TcpStream,
-    registry: Arc<Registry>,
-    faults: Option<Arc<FaultInjector>>,
+    backend: Arc<Backend>,
     metrics: Arc<MetricsRegistry>,
+    _permit: SemaphorePermit,
 ) {
     // Keep-alive: serve requests until the peer closes or errs.
     loop {
@@ -141,7 +229,7 @@ fn handle_connection(
                 return;
             }
         };
-        let response = match route_faulty(&request, &registry, faults.as_deref(), &metrics) {
+        let response = match route_faulty(&request, &backend, &metrics) {
             Routed::Respond(r) => r,
             Routed::RespondTruncated(r, keep) => {
                 let _ = r.write_truncated_to(&mut stream, keep);
@@ -176,7 +264,7 @@ fn json_error(status: u16, code: &str) -> Response {
         .with_header("content-type", "application/json")
 }
 
-fn route(req: &Request, registry: &Registry, metrics: &MetricsRegistry) -> Response {
+fn route(req: &Request, backend: &Backend, metrics: &MetricsRegistry) -> Response {
     if req.method != "GET" {
         return json_error(405, "UNSUPPORTED");
     }
@@ -189,7 +277,9 @@ fn route(req: &Request, registry: &Registry, metrics: &MetricsRegistry) -> Respo
             .with_header("content-type", "text/plain; version=0.0.4");
     }
 
-    // Token endpoint (the Bearer realm the 401 challenge points at).
+    // Token endpoint (the Bearer realm the 401 challenge points at). A
+    // mirror issues the same demo token its origins accept, so one auth
+    // dance works against either tier.
     if path == "/token" {
         metrics.counter("dhub_http_token_grants_total").inc();
         let mut body = Json::obj();
@@ -211,13 +301,25 @@ fn route(req: &Request, registry: &Registry, metrics: &MetricsRegistry) -> Respo
     // <name>/manifests/<ref> | <name>/blobs/<digest> | <name>/tags/list —
     // the name itself may contain one '/'.
     if let Some((name, reference)) = rest.rsplit_once("/manifests/") {
-        return manifest_endpoint(registry, name, reference, authed(req));
+        return match backend {
+            Backend::Local { registry, .. } => {
+                manifest_endpoint(registry, name, reference, authed(req))
+            }
+            Backend::Mirror(be) => mirror_manifest_endpoint(be.as_ref(), name, reference, authed(req)),
+        };
     }
     if let Some((name, digest)) = rest.rsplit_once("/blobs/") {
-        return blob_endpoint(registry, name, digest, authed(req));
+        return match backend {
+            Backend::Local { registry, .. } => blob_endpoint(registry, name, digest, authed(req)),
+            Backend::Mirror(be) => mirror_blob_endpoint(be.as_ref(), name, digest, authed(req)),
+        };
     }
     if let Some(name) = rest.strip_suffix("/tags/list") {
-        return tags_endpoint(registry, name.trim_end_matches('/'), authed(req));
+        let name = name.trim_end_matches('/');
+        return match backend {
+            Backend::Local { registry, .. } => tags_endpoint(registry, name, authed(req)),
+            Backend::Mirror(be) => mirror_tags_endpoint(be.as_ref(), name, authed(req)),
+        };
     }
     json_error(404, "NOT_FOUND")
 }
@@ -250,14 +352,9 @@ fn http_fault_op(path: &str) -> Option<FaultOp> {
 /// 429/503, auth flap, slow link) fire before the registry is consulted;
 /// body damage (truncate, bit flip) is applied to successful responses.
 /// Tallies `dhub_http_*` counters along the way.
-fn route_faulty(
-    req: &Request,
-    registry: &Registry,
-    faults: Option<&FaultInjector>,
-    metrics: &MetricsRegistry,
-) -> Routed {
+fn route_faulty(req: &Request, backend: &Backend, metrics: &MetricsRegistry) -> Routed {
     metrics.counter("dhub_http_requests_total").inc();
-    let routed = route_faulty_inner(req, registry, faults, metrics);
+    let routed = route_faulty_inner(req, backend, metrics);
     let status = match &routed {
         Routed::Respond(r) | Routed::RespondTruncated(r, _) => r.status,
         Routed::Drop => 0,
@@ -271,16 +368,17 @@ fn route_faulty(
     routed
 }
 
-fn route_faulty_inner(
-    req: &Request,
-    registry: &Registry,
-    faults: Option<&FaultInjector>,
-    metrics: &MetricsRegistry,
-) -> Routed {
-    let route = |req, registry| route(req, registry, metrics);
-    let Some(inj) = faults else { return Routed::Respond(route(req, registry)) };
+fn route_faulty_inner(req: &Request, backend: &Backend, metrics: &MetricsRegistry) -> Routed {
+    let route = |req, backend| route(req, backend, metrics);
+    // Wire faults are a local-registry affair; a mirror front end serves
+    // clean, and its origins carry their own injectors.
+    let faults = match backend {
+        Backend::Local { faults, .. } => faults.as_deref(),
+        Backend::Mirror(_) => None,
+    };
+    let Some(inj) = faults else { return Routed::Respond(route(req, backend)) };
     let path = req.target.split('?').next().unwrap_or("");
-    let Some(op) = http_fault_op(path) else { return Routed::Respond(route(req, registry)) };
+    let Some(op) = http_fault_op(path) else { return Routed::Respond(route(req, backend)) };
 
     let mut allowed = vec![
         FaultKind::Drop,
@@ -305,17 +403,17 @@ fn route_faulty_inner(
         metrics.counter("dhub_http_wire_faults_total").inc();
     }
     match decision {
-        None => Routed::Respond(route(req, registry)),
+        None => Routed::Respond(route(req, backend)),
         Some(FaultKind::Drop) => Routed::Drop,
         Some(FaultKind::RateLimit) => Routed::Respond(json_error(429, "TOOMANYREQUESTS")),
         Some(FaultKind::ServerError) => Routed::Respond(json_error(503, "UNAVAILABLE")),
         Some(FaultKind::AuthFlap) => Routed::Respond(challenge(json_error(401, "UNAUTHORIZED"))),
         Some(FaultKind::SlowLink) => {
             std::thread::sleep(inj.slow_link());
-            Routed::Respond(route(req, registry))
+            Routed::Respond(route(req, backend))
         }
         Some(FaultKind::Truncate) => {
-            let resp = route(req, registry);
+            let resp = route(req, backend);
             if resp.status == 200 && !resp.body.is_empty() {
                 let keep = (key as usize) % resp.body.len();
                 Routed::RespondTruncated(resp, keep)
@@ -324,7 +422,7 @@ fn route_faulty_inner(
             }
         }
         Some(FaultKind::Corrupt) => {
-            let mut resp = route(req, registry);
+            let mut resp = route(req, backend);
             if resp.status == 200 && !resp.body.is_empty() {
                 let bit = (key as usize) % (resp.body.len() * 8);
                 resp.body[bit / 8] ^= 1 << (bit % 8);
@@ -391,6 +489,58 @@ fn tags_endpoint(registry: &Registry, name: &str, authed: bool) -> Response {
     }
 }
 
+/// Maps a [`BackendError`] to the response an origin would have sent, so a
+/// client cannot tell (status-wise) whether it talked to origin or mirror.
+fn backend_error_response(err: BackendError, not_found_code: &str) -> Response {
+    match err {
+        BackendError::AuthRequired => challenge(json_error(401, "UNAUTHORIZED")),
+        BackendError::NotFound => json_error(404, not_found_code),
+        BackendError::RateLimited => json_error(429, "TOOMANYREQUESTS"),
+        BackendError::Unavailable => json_error(503, "UNAVAILABLE"),
+    }
+}
+
+fn mirror_manifest_endpoint(
+    be: &dyn MirrorBackend,
+    name: &str,
+    reference: &str,
+    authed: bool,
+) -> Response {
+    let Some(repo) = repo_of(name) else { return json_error(404, "NAME_INVALID") };
+    match be.fetch_manifest(&repo, reference, authed) {
+        Ok((digest, body)) => Response::new(200, body)
+            .with_header("content-type", "application/vnd.docker.distribution.manifest.v2+json")
+            .with_header("docker-content-digest", &digest.to_docker_string()),
+        Err(e) => backend_error_response(e, "MANIFEST_UNKNOWN"),
+    }
+}
+
+fn mirror_blob_endpoint(be: &dyn MirrorBackend, name: &str, digest: &str, authed: bool) -> Response {
+    let Some(repo) = repo_of(name) else { return json_error(404, "NAME_INVALID") };
+    let Some(d) = Digest::parse(digest) else { return json_error(404, "DIGEST_INVALID") };
+    match be.fetch_blob(&repo, &d, authed) {
+        Ok(body) => Response::new(200, body)
+            .with_header("content-type", "application/octet-stream")
+            .with_header("docker-content-digest", digest),
+        Err(e) => backend_error_response(e, "BLOB_UNKNOWN"),
+    }
+}
+
+fn mirror_tags_endpoint(be: &dyn MirrorBackend, name: &str, authed: bool) -> Response {
+    let Some(repo) = repo_of(name) else { return json_error(404, "NAME_INVALID") };
+    match be.tags(&repo, authed) {
+        Ok(mut tags) => {
+            tags.sort();
+            let mut body = Json::obj();
+            body.set("name", name);
+            body.set("tags", tags);
+            Response::new(200, body.to_string().into_bytes())
+                .with_header("content-type", "application/json")
+        }
+        Err(e) => backend_error_response(e, "NAME_UNKNOWN"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,12 +563,14 @@ mod tests {
         Arc::new(reg)
     }
 
-    fn roundtrip(req: &Request, reg: &Registry) -> Response {
-        route(req, reg, &MetricsRegistry::new())
+    fn roundtrip(req: &Request, reg: &Arc<Registry>) -> Response {
+        let be = Backend::Local { registry: reg.clone(), faults: None };
+        route(req, &be, &MetricsRegistry::new())
     }
 
-    fn faulty(req: &Request, reg: &Registry, inj: &FaultInjector) -> Routed {
-        route_faulty(req, reg, Some(inj), &MetricsRegistry::new())
+    fn faulty(req: &Request, reg: &Arc<Registry>, inj: FaultInjector) -> Routed {
+        let be = Backend::Local { registry: reg.clone(), faults: Some(Arc::new(inj)) };
+        route_faulty(req, &be, &MetricsRegistry::new())
     }
 
     #[test]
@@ -511,33 +663,29 @@ mod tests {
         assert!(text.contains("latest"), "{text}");
     }
 
-    use dhub_faults::{FaultConfig, ALL_FAULT_KINDS};
+    use dhub_faults::FaultConfig;
 
     /// An injector that always fires `kind` (and nothing else).
     fn only(kind: FaultKind) -> FaultInjector {
-        let mut cfg = FaultConfig::uniform(7, 1.0);
-        for k in ALL_FAULT_KINDS {
-            cfg = cfg.with_weight(k, if k == kind { 1 } else { 0 });
-        }
-        FaultInjector::new(cfg)
+        FaultInjector::new(FaultConfig::only(7, 1.0, kind))
     }
 
     #[test]
     fn injected_rate_limit_then_drop() {
         let reg = test_registry();
         let req = Request::get("/v2/nginx/manifests/latest");
-        match faulty(&req, &reg, &only(FaultKind::RateLimit)) {
+        match faulty(&req, &reg, only(FaultKind::RateLimit)) {
             Routed::Respond(r) => assert_eq!(r.status, 429),
             _ => panic!("expected a 429 response"),
         }
-        assert!(matches!(faulty(&req, &reg, &only(FaultKind::Drop)), Routed::Drop));
+        assert!(matches!(faulty(&req, &reg, only(FaultKind::Drop)), Routed::Drop));
     }
 
     #[test]
     fn injected_truncation_keeps_prefix_only() {
         let reg = test_registry();
         let req = Request::get("/v2/nginx/manifests/latest");
-        match faulty(&req, &reg, &only(FaultKind::Truncate)) {
+        match faulty(&req, &reg, only(FaultKind::Truncate)) {
             Routed::RespondTruncated(r, keep) => {
                 assert_eq!(r.status, 200);
                 assert!(keep < r.body.len());
@@ -551,7 +699,7 @@ mod tests {
         let reg = test_registry();
         let req = Request::get("/v2/nginx/manifests/latest");
         let clean = roundtrip(&req, &reg);
-        match faulty(&req, &reg, &only(FaultKind::Corrupt)) {
+        match faulty(&req, &reg, only(FaultKind::Corrupt)) {
             Routed::Respond(r) => {
                 assert_eq!(r.status, 200);
                 assert_ne!(r.body, clean.body);
@@ -570,22 +718,124 @@ mod tests {
     #[test]
     fn auth_flap_spares_anonymous_requests() {
         let reg = test_registry();
-        let inj = only(FaultKind::AuthFlap);
         // Anonymous request: AuthFlap is not in the allowed set, every other
         // weight is zero, so no fault fires at all.
         let req = Request::get("/v2/nginx/manifests/latest");
-        match faulty(&req, &reg, &inj) {
+        match faulty(&req, &reg, only(FaultKind::AuthFlap)) {
             Routed::Respond(r) => assert_eq!(r.status, 200),
             _ => panic!("anonymous request must not fault"),
         }
         // The same request with credentials gets a re-auth challenge.
         let req = req.with_header("authorization", &format!("Bearer {DEMO_TOKEN}"));
-        match faulty(&req, &reg, &inj) {
+        match faulty(&req, &reg, only(FaultKind::AuthFlap)) {
             Routed::Respond(r) => {
                 assert_eq!(r.status, 401);
                 assert!(r.header("www-authenticate").unwrap().contains("Bearer"));
             }
             _ => panic!("credentialed request should see the flap"),
         }
+    }
+
+    #[test]
+    fn overload_sheds_with_503_and_counter() {
+        use std::io::Read as _;
+        let reg = test_registry();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let server = RegistryServer::start_full(reg, None, metrics.clone(), 1).unwrap();
+
+        // Take the only permit: this handler parks in read_request because
+        // we never send a byte on the connection.
+        let _held = TcpStream::connect(server.addr()).unwrap();
+
+        // The acceptor may briefly race the permit hand-off, so retry:
+        // once the held connection owns the permit, every extra connection
+        // must be shed with an immediate 503.
+        let mut saw_503 = false;
+        for _ in 0..200 {
+            let mut extra = TcpStream::connect(server.addr()).unwrap();
+            let _ = extra.write_all(b"GET /v2/ HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n");
+            let mut raw = String::new();
+            let _ = extra.read_to_string(&mut raw);
+            if raw.starts_with("HTTP/1.1 503") {
+                saw_503 = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(saw_503, "no extra connection was shed");
+        assert!(
+            metrics.counter_value("dhub_http_rejected_overload_total") > 0,
+            "overload counter never moved"
+        );
+        server.shutdown();
+    }
+
+    /// A canned backend standing in for `dhub-mirror` (which lives
+    /// downstream of this crate): proves the mirror server mode speaks the
+    /// same protocol shape as the local one.
+    struct CannedBackend {
+        manifest: Manifest,
+        blob: Vec<u8>,
+    }
+
+    impl MirrorBackend for CannedBackend {
+        fn fetch_manifest(
+            &self,
+            repo: &RepoName,
+            reference: &str,
+            _authed: bool,
+        ) -> Result<(Digest, Vec<u8>), BackendError> {
+            if repo.full() != "nginx" || reference != "latest" {
+                return Err(BackendError::NotFound);
+            }
+            let body = self.manifest.to_json().into_bytes();
+            Ok((Digest::of(&body), body))
+        }
+
+        fn fetch_blob(
+            &self,
+            _repo: &RepoName,
+            digest: &Digest,
+            _authed: bool,
+        ) -> Result<Vec<u8>, BackendError> {
+            if *digest == Digest::of(&self.blob) {
+                Ok(self.blob.clone())
+            } else {
+                Err(BackendError::NotFound)
+            }
+        }
+
+        fn tags(&self, _repo: &RepoName, _authed: bool) -> Result<Vec<String>, BackendError> {
+            Ok(vec!["latest".into()])
+        }
+    }
+
+    #[test]
+    fn mirror_mode_serves_backend_objects() {
+        let blob = b"mirror-layer".to_vec();
+        let manifest =
+            Manifest::new(vec![LayerRef { digest: Digest::of(&blob), size: blob.len() as u64 }]);
+        let be = Arc::new(CannedBackend { manifest: manifest.clone(), blob: blob.clone() });
+        let backend = Backend::Mirror(be);
+        let metrics = MetricsRegistry::new();
+
+        let resp = route(&Request::get("/v2/nginx/manifests/latest"), &backend, &metrics);
+        assert_eq!(resp.status, 200);
+        let m = Manifest::from_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(m.layers.len(), 1);
+        let d = Digest::parse(resp.header("docker-content-digest").unwrap()).unwrap();
+        assert_eq!(d, Digest::of(&resp.body));
+
+        let blob_path = format!("/v2/nginx/blobs/{}", Digest::of(&blob).to_docker_string());
+        let resp = route(&Request::get(&blob_path), &backend, &metrics);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, blob);
+
+        let resp = route(&Request::get("/v2/nginx/manifests/v9"), &backend, &metrics);
+        assert_eq!(resp.status, 404);
+
+        let resp = route(&Request::get("/v2/nginx/tags/list"), &backend, &metrics);
+        assert_eq!(resp.status, 200);
+        assert!(std::str::from_utf8(&resp.body).unwrap().contains("latest"));
     }
 }

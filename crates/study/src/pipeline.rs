@@ -4,7 +4,7 @@ use dhub_analyzer::{analyze_all_obs, image_profiles, ImageInput};
 use dhub_crawler::{crawl_obs, CrawlReport};
 use dhub_dedup::ImageLayers;
 use dhub_digest::FxHashMap;
-use dhub_downloader::{download_all_obs, DownloadReport};
+use dhub_downloader::{download_all_http_obs, download_all_obs, DownloadReport};
 use dhub_faults::RetryPolicy;
 use dhub_model::{Digest, ImageProfile, LayerProfile, RepoName};
 use dhub_obs::{span, MetricsRegistry};
@@ -119,6 +119,97 @@ pub fn run_study_obs(
         .collect();
 
     // Popularity: pull counts of every crawled repository.
+    let pulls: Vec<(RepoName, u64)> = crawl_result
+        .repos
+        .iter()
+        .filter_map(|r| hub.registry.pull_count(r).map(|c| (r.clone(), c)))
+        .collect();
+
+    StudyData {
+        crawl: crawl_result.report,
+        download: dl.report,
+        layers: analysis.layers,
+        images,
+        image_layers,
+        pulls,
+        analyze_errors: analysis.errors.len(),
+        size_scale: hub.config.size_scale,
+        seed: hub.config.seed,
+    }
+}
+
+/// Runs the full pipeline with the download stage over the Registry V2
+/// **HTTP** transport against `addr` instead of in-process calls. `addr`
+/// may be a direct origin (`RegistryServer::start`) or a pull-through
+/// mirror (`RegistryServer::start_mirror` fronting `dhub-mirror`): both
+/// speak the same wire protocol, so the study is topology-agnostic and
+/// its results must be byte-identical either way (the mirror chaos suite
+/// gates on exactly that).
+///
+/// The crawl stays in-process against `hub.search` — the paper crawled
+/// `hub.docker.com` (the search API) and downloaded from
+/// `registry-1.docker.io`, two different services; the mirror tier only
+/// fronts the latter.
+pub fn run_study_http(hub: &SyntheticHub, addr: std::net::SocketAddr, threads: usize) -> StudyData {
+    run_study_http_with(hub, addr, threads, &RetryPolicy::default())
+}
+
+/// [`run_study_http`] with an explicit retry policy (installed on every
+/// per-repo HTTP client and on the crawl).
+pub fn run_study_http_with(
+    hub: &SyntheticHub,
+    addr: std::net::SocketAddr,
+    threads: usize,
+    policy: &RetryPolicy,
+) -> StudyData {
+    run_study_http_obs(hub, addr, threads, policy, &MetricsRegistry::new())
+}
+
+/// [`run_study_http_with`], recording live metrics and per-stage spans
+/// into `obs` — same counter-derived report contract as [`run_study_obs`].
+pub fn run_study_http_obs(
+    hub: &SyntheticHub,
+    addr: std::net::SocketAddr,
+    threads: usize,
+    policy: &RetryPolicy,
+    obs: &MetricsRegistry,
+) -> StudyData {
+    let officials: Vec<RepoName> =
+        hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
+    let injector = hub.registry.fault_injector();
+    let crawl_result = {
+        let _stage = span!(obs, "crawl");
+        crawl_obs(&hub.search, &officials, injector.as_deref(), policy, obs)
+    };
+
+    // §III-B over real TCP: the server (origin or mirror) applies its own
+    // wire faults; the HTTP client's retry/backoff absorbs them.
+    let dl = {
+        let _stage = span!(obs, "download");
+        download_all_http_obs(addr, &crawl_result.repos, threads, policy, obs)
+    };
+    set_dedup_ratio(obs, &dl.report);
+
+    let analysis = {
+        let _stage = span!(obs, "analyze");
+        analyze_all_obs(&dl.layers, threads, obs)
+    };
+    let inputs: Vec<ImageInput> = dl
+        .images
+        .iter()
+        .map(|img| ImageInput {
+            repo: img.repo.clone(),
+            manifest_digest: img.manifest_digest,
+            layers: img.manifest.layers.iter().map(|l| (l.digest, l.size)).collect(),
+        })
+        .collect();
+    let images = image_profiles(&inputs, &analysis.layers);
+    let image_layers: Vec<ImageLayers> = dl
+        .images
+        .iter()
+        .map(|img| ImageLayers { layers: img.manifest.layers.iter().map(|l| l.digest).collect() })
+        .collect();
+
     let pulls: Vec<(RepoName, u64)> = crawl_result
         .repos
         .iter()

@@ -23,6 +23,8 @@
 //!   external lock crate).
 //! * [`Backoff`] — spin-then-yield helper for short waits ahead of a park.
 //! * [`WaitGroup`] — clone-to-add, drop-to-done rendezvous.
+//! * [`Semaphore`] — counting semaphore with RAII permits, the admission
+//!   control under the registry HTTP accept loop.
 //!
 //! Design note — why Mutex+Condvar rather than lock-free: the channel
 //! carries *layer-sized* work items (manifests, multi-megabyte blobs), so
@@ -40,6 +42,7 @@ pub mod backoff;
 pub mod channel;
 pub mod crew;
 pub mod lock;
+pub mod semaphore;
 pub mod striped;
 pub mod waitgroup;
 
@@ -47,5 +50,6 @@ pub use backoff::{Backoff, DelayBackoff};
 pub use channel::{bounded, unbounded, Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
 pub use crew::work_crew;
 pub use lock::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+pub use semaphore::{Semaphore, SemaphorePermit};
 pub use striped::{CachePadded, Striped};
 pub use waitgroup::WaitGroup;

@@ -1,0 +1,113 @@
+//! Counting semaphore over Mutex+Condvar with RAII permits.
+//!
+//! Built for admission control on the registry HTTP accept loop: the
+//! acceptor `try_acquire`s a permit per connection and sheds load (503)
+//! when the cap is reached instead of spawning an unbounded thread per
+//! socket. Permits release on drop, so a panicking handler still returns
+//! its slot.
+
+use crate::lock::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct Inner {
+    available: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// A counting semaphore with a fixed number of permits.
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Arc<Inner>,
+    max: usize,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` slots (at least one).
+    pub fn new(permits: usize) -> Semaphore {
+        let permits = permits.max(1);
+        Semaphore {
+            inner: Arc::new(Inner { available: Mutex::new(permits), cv: Condvar::new() }),
+            max: permits,
+        }
+    }
+
+    /// The total number of permits (the admission cap).
+    pub fn max_permits(&self) -> usize {
+        self.max
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> usize {
+        *self.inner.available.lock()
+    }
+
+    /// Takes a permit without blocking; `None` when the semaphore is full.
+    pub fn try_acquire(&self) -> Option<SemaphorePermit> {
+        let mut n = self.inner.available.lock();
+        if *n == 0 {
+            return None;
+        }
+        *n -= 1;
+        Some(SemaphorePermit { inner: Arc::clone(&self.inner) })
+    }
+
+    /// Blocks until a permit is available.
+    pub fn acquire(&self) -> SemaphorePermit {
+        let mut n = self.inner.available.lock();
+        while *n == 0 {
+            n = self.inner.cv.wait(n);
+        }
+        *n -= 1;
+        SemaphorePermit { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// RAII permit; dropping it returns the slot and wakes one waiter.
+pub struct SemaphorePermit {
+    inner: Arc<Inner>,
+}
+
+impl Drop for SemaphorePermit {
+    fn drop(&mut self) {
+        let mut n = self.inner.available.lock();
+        *n += 1;
+        self.inner.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn try_acquire_respects_cap() {
+        let s = Semaphore::new(2);
+        let a = s.try_acquire().expect("first");
+        let _b = s.try_acquire().expect("second");
+        assert!(s.try_acquire().is_none(), "cap is 2");
+        drop(a);
+        assert!(s.try_acquire().is_some(), "released permit is reusable");
+    }
+
+    #[test]
+    fn acquire_blocks_until_release() {
+        let s = Semaphore::new(1);
+        let held = s.try_acquire().expect("permit");
+        let s2 = s.clone();
+        let waiter = std::thread::spawn(move || {
+            let _p = s2.acquire();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "acquire must block while held");
+        drop(held);
+        waiter.join().expect("waiter finishes after release");
+    }
+
+    #[test]
+    fn zero_permits_rounds_up_to_one() {
+        let s = Semaphore::new(0);
+        assert_eq!(s.max_permits(), 1);
+        assert!(s.try_acquire().is_some());
+    }
+}

@@ -35,8 +35,12 @@ PROPTEST_SEED=0x00000000002a2a2a \
     cargo test -q --offline -p dhub-faults --test props
 
 # The chaos suite: full crawl→download pipeline under deterministic fault
-# injection, asserting byte-identical datasets with retries on.
-echo "==> chaos suite: tests/chaos.rs"
+# injection, asserting byte-identical datasets with retries on. Includes
+# the mirror gate: the study pulled through a dhub-mirror edge tier must
+# be byte-identical to the direct run at fault rates 0 / 5 / 20 %, survive
+# a killed origin shard, and reconcile every dhub_mirror_* counter against
+# the report and the Prometheus exposition.
+echo "==> chaos suite: tests/chaos.rs (incl. mirror tier gates)"
 cargo test -q --offline -p dhub-study --test chaos
 
 # Observability gate: a seeded faulted study writes a metrics snapshot that
@@ -92,6 +96,18 @@ rm -f "$OBS_SNAP" "$OBS_OUT"
 echo "==> obs bench smoke"
 cargo bench --offline -p dhub-bench --bench obs -- \
     bench_span_enter_exit bench_snapshot bench_render > /dev/null
+
+# Mirror bench smoke: the cheap microbenches only (the zipf mirror/direct
+# comparison over real sockets is the recorded BENCH_mirror.json). The
+# harness prints one `name,median_ns,samples,threads` CSV line per bench;
+# check the lines actually appear.
+echo "==> mirror bench smoke"
+MIRROR_CSV=$(cargo bench --offline -p dhub-bench --bench mirror -- \
+    bench_ring_route bench_cache_hot_hit)
+echo "$MIRROR_CSV" | grep -q "^bench_ring_route_1k," \
+    || { echo "FAIL: mirror bench CSV missing bench_ring_route_1k" >&2; exit 1; }
+echo "$MIRROR_CSV" | grep -q "^bench_cache_hot_hit," \
+    || { echo "FAIL: mirror bench CSV missing bench_cache_hot_hit" >&2; exit 1; }
 
 echo "==> dependency audit"
 # No references to the removed external crates anywhere in crate sources.

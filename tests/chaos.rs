@@ -8,11 +8,13 @@
 //! outcome bucket.
 
 use dhub_downloader::download_all_http_with;
-use dhub_faults::{FaultConfig, FaultInjector, RetryPolicy};
+use dhub_faults::{FaultConfig, FaultInjector, FaultKind, RetryPolicy};
+use dhub_mirror::{Mirror, MirrorConfig, MirrorReport, PolicyKind};
 use dhub_obs::{MetricsRegistry, MetricsSnapshot};
 use dhub_registry::RegistryServer;
 use dhub_study::pipeline::{
-    run_study_obs, run_study_streaming_obs, run_study_streaming_with, run_study_with, StudyData,
+    run_study_http_with, run_study_obs, run_study_streaming_obs, run_study_streaming_with,
+    run_study_with, StudyData,
 };
 use dhub_synth::{generate_hub, SyntheticHub, SynthConfig};
 use std::sync::Arc;
@@ -259,4 +261,203 @@ fn http_transport_rides_out_server_side_faults() {
     for (digest, blob) in &faulted.layers {
         assert_eq!(dhub_model::Digest::of(blob.as_ref()), *digest);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Mirror tier chaos (DESIGN.md §6e): the same study, pulled through a
+// dhub-mirror edge cache fronting faulted origin shards, must produce the
+// exact dataset a direct clean run does — and the mirror's counters must
+// reconcile against its report and the Prometheus exposition.
+
+/// Direct-to-origin clean baseline over real HTTP.
+fn direct_clean_study() -> StudyData {
+    let hub = hub();
+    let srv = RegistryServer::start(hub.registry.clone()).unwrap();
+    let data = run_study_http_with(&hub, srv.addr(), THREADS, &patient());
+    srv.shutdown();
+    data
+}
+
+/// Runs the study through a two-shard mirror whose origins inject wire
+/// faults at `rate`. Fresh hub per call, so topologies never share state.
+fn mirror_study(rate: f64) -> (StudyData, MirrorReport) {
+    let hub = hub();
+    let inj = |salt: u64| {
+        Arc::new(FaultInjector::new(FaultConfig::uniform(FAULT_SEED + salt, rate)))
+    };
+    let o1 = RegistryServer::start_with_faults(hub.registry.clone(), Some(inj(0))).unwrap();
+    let o2 = RegistryServer::start_with_faults(hub.registry.clone(), Some(inj(1))).unwrap();
+    let obs = Arc::new(MetricsRegistry::new());
+    let mirror = Arc::new(Mirror::new(
+        &[o1.addr(), o2.addr()],
+        MirrorConfig::new(1 << 30, PolicyKind::Lru).with_retry(patient()),
+        obs.clone(),
+    ));
+    let msrv =
+        RegistryServer::start_mirror(mirror.clone(), obs, dhub_registry::DEFAULT_MAX_CONNS)
+            .unwrap();
+    let data = run_study_http_with(&hub, msrv.addr(), THREADS, &patient());
+    let report = mirror.report();
+    msrv.shutdown();
+    o1.shutdown();
+    o2.shutdown();
+    (data, report)
+}
+
+/// Dataset equality between HTTP topologies. Pulls and retry counters are
+/// deliberately excluded: truncated/corrupted wire responses consume a
+/// registry pull per retry, so pull totals are a property of the fault
+/// plan and topology, not of the dataset the study delivers.
+fn assert_same_http_dataset(through_mirror: &StudyData, direct: &StudyData) {
+    assert_eq!(through_mirror.crawl.raw_results, direct.crawl.raw_results);
+    assert_eq!(through_mirror.crawl.distinct_repos, direct.crawl.distinct_repos);
+    assert_eq!(through_mirror.crawl.pages_gave_up, 0);
+
+    let (m, d) = (&through_mirror.download, &direct.download);
+    assert_eq!(m.images_downloaded, d.images_downloaded);
+    assert_eq!(m.unique_layers, d.unique_layers);
+    assert_eq!(m.bytes_fetched, d.bytes_fetched);
+    assert_eq!(m.layer_fetches_skipped, d.layer_fetches_skipped);
+    assert_eq!(m.failed_auth, d.failed_auth);
+    assert_eq!(m.failed_no_latest, d.failed_no_latest);
+    assert_eq!(m.failed_other, d.failed_other);
+    assert_eq!(m.gave_up, 0, "the patient policy must never give up");
+
+    assert_eq!(through_mirror.layers.len(), direct.layers.len());
+    for (digest, profile) in &direct.layers {
+        assert_eq!(
+            through_mirror.layers.get(digest),
+            Some(profile),
+            "layer profile diverged through the mirror"
+        );
+    }
+    assert_eq!(through_mirror.images, direct.images);
+}
+
+#[test]
+fn study_through_mirror_is_byte_identical_to_direct() {
+    let clean = direct_clean_study();
+    for rate in [0.0, 0.05, 0.20] {
+        let (data, report) = mirror_study(rate);
+        assert_same_http_dataset(&data, &clean);
+        // Accounting invariant at every fault rate: each cacheable request
+        // resolved as exactly one of hit / leader miss / coalesced wait.
+        assert_eq!(
+            report.requests,
+            report.hits + report.misses + report.coalesced,
+            "mirror request accounting must partition at rate {rate}"
+        );
+        assert!(report.misses > 0, "a cold mirror must miss");
+        if rate == 0.0 {
+            assert_eq!(report.origin_errors, 0, "no faults, no origin errors");
+        }
+    }
+}
+
+#[test]
+fn mirror_fails_over_when_an_origin_shard_is_killed() {
+    let clean = direct_clean_study();
+
+    // Shard 0 is killed for the entire run: every request to its address
+    // drops at the wire, deterministically — the from-birth limit of
+    // "killed mid-study", and the worst case for the ring (every key that
+    // hashes there must fail over).
+    let hub = hub();
+    let dead_inj =
+        Arc::new(FaultInjector::new(FaultConfig::only(FAULT_SEED, 1.0, FaultKind::Drop)));
+    let dead = RegistryServer::start_with_faults(hub.registry.clone(), Some(dead_inj)).unwrap();
+    let live = RegistryServer::start(hub.registry.clone()).unwrap();
+    let obs = Arc::new(MetricsRegistry::new());
+    let mirror = Arc::new(Mirror::new(
+        &[dead.addr(), live.addr()],
+        MirrorConfig::new(1 << 30, PolicyKind::Lru)
+            .with_retry(RetryPolicy::fast(1).with_seed(FAULT_SEED))
+            .with_down_after(2),
+        obs.clone(),
+    ));
+    let msrv =
+        RegistryServer::start_mirror(mirror.clone(), obs, dhub_registry::DEFAULT_MAX_CONNS)
+            .unwrap();
+    let data = run_study_http_with(&hub, msrv.addr(), THREADS, &patient());
+    msrv.shutdown();
+    dead.shutdown();
+    live.shutdown();
+
+    // Table 1 (and the whole dataset behind it) is unchanged by the loss.
+    assert_same_http_dataset(&data, &clean);
+    assert_eq!(
+        dhub_study::figures::table1(&data).render(),
+        dhub_study::figures::table1(&clean).render(),
+        "Table 1 must not change when an origin shard dies"
+    );
+
+    let report = mirror.report();
+    assert!(report.failovers > 0, "keys owned by the dead shard must fail over");
+    assert!(report.origin_errors > 0, "the dead shard's failures must be counted");
+    assert_eq!(
+        mirror.origin_health(),
+        vec![false, true],
+        "the dead shard must be marked down, the live one up"
+    );
+}
+
+/// Value of `name` in a Prometheus text exposition.
+fn exposition_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or_else(|| panic!("{name} missing from exposition"))
+}
+
+#[test]
+fn mirror_counters_reconcile_with_report_and_exposition_at_study_scale() {
+    let hub = hub();
+    let o1 = RegistryServer::start(hub.registry.clone()).unwrap();
+    let o2 = RegistryServer::start(hub.registry.clone()).unwrap();
+    let obs = Arc::new(MetricsRegistry::new());
+    let mirror = Arc::new(Mirror::new(
+        &[o1.addr(), o2.addr()],
+        MirrorConfig::new(1 << 30, PolicyKind::Gdsf),
+        obs.clone(),
+    ));
+    let msrv = RegistryServer::start_mirror(
+        mirror.clone(),
+        obs.clone(),
+        dhub_registry::DEFAULT_MAX_CONNS,
+    )
+    .unwrap();
+
+    // Two passes: the first warms the cache, the second must hit it.
+    let _ = run_study_http_with(&hub, msrv.addr(), THREADS, &patient());
+    let _ = run_study_http_with(&hub, msrv.addr(), THREADS, &patient());
+
+    let report = mirror.report();
+    assert_eq!(report.requests, report.hits + report.misses + report.coalesced);
+    assert!(report.hits > 0, "the second pass must hit the warm cache");
+    assert!(report.misses > 0, "the first pass must miss the cold cache");
+
+    // Report, snapshot, and the server's own /metrics exposition agree on
+    // every dhub_mirror_* counter — the DeltaCounter design by value.
+    let snap = obs.snapshot();
+    let text = dhub_registry::RemoteRegistry::connect_anonymous(msrv.addr())
+        .metrics_text()
+        .unwrap();
+    for (name, want) in [
+        ("dhub_mirror_requests_total", report.requests),
+        ("dhub_mirror_hits_total", report.hits),
+        ("dhub_mirror_misses_total", report.misses),
+        ("dhub_mirror_coalesced_total", report.coalesced),
+        ("dhub_mirror_hit_bytes_total", report.hit_bytes),
+        ("dhub_mirror_miss_bytes_total", report.miss_bytes),
+        ("dhub_mirror_evictions_total", report.evictions),
+        ("dhub_mirror_failovers_total", report.failovers),
+        ("dhub_mirror_origin_fetches_total", report.origin_fetches),
+        ("dhub_mirror_origin_errors_total", report.origin_errors),
+    ] {
+        assert_eq!(snap.counter(name), want, "snapshot drifted from report for {name}");
+        assert_eq!(exposition_value(&text, name), want, "exposition drifted for {name}");
+    }
+
+    msrv.shutdown();
+    o1.shutdown();
+    o2.shutdown();
 }

@@ -81,7 +81,7 @@ fn metrics_endpoint_serves_live_counters_during_streaming_study() {
     let obs = Arc::new(MetricsRegistry::new());
     // The server scrapes the same registry the (in-process) study records
     // into — exactly the `--metrics` CLI topology.
-    let server = RegistryServer::start_full(hub.registry.clone(), None, obs.clone()).unwrap();
+    let server = RegistryServer::start_full(hub.registry.clone(), None, obs.clone(), dhub_registry::DEFAULT_MAX_CONNS).unwrap();
     let addr = server.addr();
 
     // Two concurrent scrapers poll /metrics while the study streams; each
@@ -148,7 +148,7 @@ fn metrics_scrape_rides_out_wire_faults() {
     obs.counter("dhub_probe_total").add(7);
     let inj = Arc::new(FaultInjector::new(FaultConfig::uniform(9, 0.3)));
     let server =
-        RegistryServer::start_full(hub.registry.clone(), Some(inj.clone()), obs.clone()).unwrap();
+        RegistryServer::start_full(hub.registry.clone(), Some(inj.clone()), obs.clone(), dhub_registry::DEFAULT_MAX_CONNS).unwrap();
     let client = RemoteRegistry::connect(server.addr())
         .with_retry_policy(RetryPolicy::fast(20).with_seed(9));
     for _ in 0..10 {
