@@ -11,16 +11,29 @@
 //!   layer profiles (FIS, CIS, total file/dir counts).
 //!
 //! Layers are analyzed in parallel; each layer is independent.
+//!
+//! # The fused hot path
+//!
+//! [`analyze_layer_with`] performs the whole per-layer pass in one sweep:
+//! the blob inflates into a reusable [`Scratch`] buffer, the tar is walked
+//! zero-copy with [`TarView`], and each file is hashed exactly once — the
+//! digest and the borrowed payload are handed to a caller-supplied sink so
+//! downstream consumers (the dedup store) never re-decompress or re-hash.
+//! [`analyze_layer_reference`] keeps the original allocate-per-layer
+//! implementation as the golden model the equivalence tests compare
+//! against.
 
-use dhub_compress::gzip_decompress;
+use dhub_compress::{gzip_decompress_into, gzip_decompress_reference};
 use dhub_digest::FxHashMap;
 use dhub_model::{
     profile::path_depth, Digest, FileRecord, ImageProfile, LayerProfile, RepoName,
 };
-use dhub_obs::MetricsRegistry;
-use dhub_tar::{read_archive, EntryKind};
+use dhub_obs::{Counter, MetricsRegistry};
+use dhub_par::Scratch;
+use dhub_tar::{read_archive, EntryKind, EntryView, EntryViewKind, TarView};
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Analysis errors for a single layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,8 +56,140 @@ impl std::fmt::Display for AnalyzeError {
 impl std::error::Error for AnalyzeError {}
 
 /// Analyzes one compressed layer blob into a [`LayerProfile`].
+///
+/// Convenience wrapper over [`analyze_layer_scratch`] with a throwaway
+/// arena; batch callers should thread a per-worker [`Scratch`] through
+/// instead so the decompression buffer is reused across layers.
 pub fn analyze_layer(digest: Digest, blob: &[u8]) -> Result<LayerProfile, AnalyzeError> {
-    let tar = gzip_decompress(blob).map_err(|e| AnalyzeError::BadGzip(e.to_string()))?;
+    let mut scratch = Scratch::new();
+    analyze_layer_scratch(digest, blob, &mut scratch)
+}
+
+/// Analyzes one layer using a caller-provided scratch arena.
+pub fn analyze_layer_scratch(
+    digest: Digest,
+    blob: &[u8],
+    scratch: &mut Scratch,
+) -> Result<LayerProfile, AnalyzeError> {
+    analyze_layer_with(digest, blob, scratch, |_, _| {})
+}
+
+/// The fused single-pass analysis: inflate → tar walk → hash, one sweep.
+///
+/// The blob decompresses into `scratch`'s buffer (reused across calls) and
+/// the tar is iterated zero-copy. For every entry the `sink` is invoked
+/// with the borrowed [`EntryView`]; for regular files it also receives the
+/// content digest and payload slice, both already computed for the
+/// profile, so a consumer ingesting files does not hash or copy anything a
+/// second time. Sink calls made before a tar parse error are discarded
+/// work — the function returns `Err` and the caller must not commit them.
+pub fn analyze_layer_with<'s, F>(
+    digest: Digest,
+    blob: &[u8],
+    scratch: &'s mut Scratch,
+    mut sink: F,
+) -> Result<LayerProfile, AnalyzeError>
+where
+    F: FnMut(&EntryView<'s>, Option<(Digest, &'s [u8])>),
+{
+    let buf = scratch.tar_buf();
+    gzip_decompress_into(blob, buf).map_err(|e| AnalyzeError::BadGzip(e.to_string()))?;
+    let tar: &'s [u8] = buf;
+
+    // Directory seeds: explicit dir entries plus the *immediate* parent of
+    // every file/link. Ancestor expansion happens once after the walk
+    // (each seed's component prefixes cover the full ancestor chain), not
+    // per entry — the old per-entry `collect_ancestors` walk re-derived
+    // the same ancestors for every file in a deep directory.
+    let mut seed_dirs: HashSet<String> = HashSet::new();
+    let mut files = Vec::new();
+    let mut fls = 0u64;
+    let mut max_depth = 0u64;
+
+    for entry in TarView::new(tar) {
+        let entry = entry.map_err(|e| AnalyzeError::BadTar(e.to_string()))?;
+        let path = entry.path.trim_end_matches('/');
+        max_depth = max_depth.max(path_depth(path));
+        match entry.kind {
+            EntryViewKind::Dir => {
+                if !seed_dirs.contains(path) {
+                    seed_dirs.insert(path.to_string());
+                }
+                sink(&entry, None);
+            }
+            EntryViewKind::File(data) => {
+                seed_parent(path, &mut seed_dirs);
+                fls += data.len() as u64;
+                let file_digest = Digest::of(data);
+                files.push(FileRecord {
+                    path: path.to_string(),
+                    digest: file_digest,
+                    kind: dhub_magic::classify(path, data),
+                    size: data.len() as u64,
+                });
+                sink(&entry, Some((file_digest, data)));
+            }
+            EntryViewKind::Symlink(_) | EntryViewKind::Hardlink(_) => {
+                seed_parent(path, &mut seed_dirs);
+                sink(&entry, None);
+            }
+        }
+    }
+
+    Ok(LayerProfile {
+        digest,
+        fls,
+        cls: blob.len() as u64,
+        dir_count: expand_dirs(&seed_dirs).len() as u64,
+        file_count: files.len() as u64,
+        max_depth,
+        files,
+    })
+}
+
+/// Records `path`'s immediate parent directory as a seed.
+fn seed_parent(path: &str, seeds: &mut HashSet<String>) {
+    if let Some(pos) = path.rfind('/') {
+        let parent = &path[..pos];
+        if !seeds.contains(parent) {
+            seeds.insert(parent.to_string());
+        }
+    }
+}
+
+/// Expands directory seeds to the full implied set: every seed verbatim
+/// plus each of its clean component prefixes (parents exist even when the
+/// tar omits their entries, which is common in real layers).
+fn expand_dirs(seeds: &HashSet<String>) -> HashSet<String> {
+    let mut all: HashSet<String> = HashSet::with_capacity(seeds.len() * 2);
+    for d in seeds {
+        let mut prefix = String::new();
+        for comp in d.split('/').filter(|c| !c.is_empty()) {
+            if !prefix.is_empty() {
+                prefix.push('/');
+            }
+            prefix.push_str(comp);
+            if !all.contains(&prefix) {
+                all.insert(prefix.clone());
+            }
+        }
+        if !all.contains(d) {
+            all.insert(d.clone());
+        }
+    }
+    all
+}
+
+/// Golden-model analysis: the original allocate-per-layer implementation
+/// (owned decompression buffer, owned tar entries, per-entry ancestor
+/// walk). The equivalence tests assert [`analyze_layer`] produces
+/// byte-identical profiles; keep this in sync with nothing — it is the
+/// frozen baseline.
+pub fn analyze_layer_reference(
+    digest: Digest,
+    blob: &[u8],
+) -> Result<LayerProfile, AnalyzeError> {
+    let tar = gzip_decompress_reference(blob).map_err(|e| AnalyzeError::BadGzip(e.to_string()))?;
     let entries = read_archive(&tar).map_err(|e| AnalyzeError::BadTar(e.to_string()))?;
 
     let mut dirs: HashSet<&str> = HashSet::new();
@@ -60,8 +205,6 @@ pub fn analyze_layer(digest: Digest, blob: &[u8]) -> Result<LayerProfile, Analyz
                 dirs.insert(path);
             }
             EntryKind::File(data) => {
-                // Parent directories exist even when the tar omits their
-                // entries (common in real layers).
                 collect_ancestors(path, &mut dirs);
                 fls += data.len() as u64;
                 files.push(FileRecord {
@@ -76,7 +219,6 @@ pub fn analyze_layer(digest: Digest, blob: &[u8]) -> Result<LayerProfile, Analyz
             }
         }
     }
-    // Directory entries also imply their ancestors.
     let explicit: Vec<&str> = dirs.iter().copied().collect();
     let mut all_dirs: HashSet<String> = explicit.iter().map(|s| s.to_string()).collect();
     for d in explicit {
@@ -109,6 +251,54 @@ fn collect_ancestors<'a>(path: &'a str, dirs: &mut HashSet<&'a str>) {
     }
 }
 
+/// Handles to the `dhub_analyze_*` counters, shared by every analysis
+/// entry point (batch, streaming stage, fused ingest) so the observability
+/// gate can reconcile one set of names no matter which path ran.
+pub struct AnalyzeCounters {
+    layers: Counter,
+    files: Counter,
+    errors: Counter,
+    /// Compressed input consumed, summed over successfully analyzed layers
+    /// (Σ cls — reconciles with the report's "layer bytes analyzed").
+    bytes: Counter,
+    /// Decompressed tar bytes produced for those layers.
+    tar_bytes: Counter,
+    /// Wall-clock nanoseconds spent inside per-layer analysis.
+    busy_ns: Counter,
+}
+
+impl AnalyzeCounters {
+    /// Binds the counters on `obs`.
+    pub fn on(obs: &MetricsRegistry) -> AnalyzeCounters {
+        AnalyzeCounters {
+            layers: obs.counter("dhub_analyze_layers_total"),
+            files: obs.counter("dhub_analyze_files_total"),
+            errors: obs.counter("dhub_analyze_errors_total"),
+            bytes: obs.counter("dhub_analyze_bytes_total"),
+            tar_bytes: obs.counter("dhub_analyze_tar_bytes_total"),
+            busy_ns: obs.counter("dhub_analyze_busy_ns_total"),
+        }
+    }
+
+    /// Records one successfully analyzed layer.
+    pub fn record_ok(&self, profile: &LayerProfile, tar_len: usize) {
+        self.layers.inc();
+        self.files.add(profile.file_count);
+        self.bytes.add(profile.cls);
+        self.tar_bytes.add(tar_len as u64);
+    }
+
+    /// Records one failed layer.
+    pub fn record_err(&self) {
+        self.errors.inc();
+    }
+
+    /// Records wall-clock time spent analyzing (any outcome).
+    pub fn record_busy(&self, elapsed: std::time::Duration) {
+        self.busy_ns.add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
 /// Outcome of analyzing a set of layers.
 pub struct AnalysisResult {
     /// Successfully analyzed layer profiles, keyed by digest.
@@ -122,25 +312,26 @@ pub fn analyze_all(layers: &[(Digest, Arc<Vec<u8>>)], threads: usize) -> Analysi
     analyze_all_obs(layers, threads, &MetricsRegistry::new())
 }
 
-/// [`analyze_all`], recording `dhub_analyze_{layers,files,errors}_total`
-/// into `obs` as workers finish layers (live progress, not end-of-run).
+/// [`analyze_all`], recording the `dhub_analyze_*` counters into `obs` as
+/// workers finish layers (live progress, not end-of-run). Each worker
+/// reuses its thread-local scratch arena across the layers it claims.
 pub fn analyze_all_obs(
     layers: &[(Digest, Arc<Vec<u8>>)],
     threads: usize,
     obs: &MetricsRegistry,
 ) -> AnalysisResult {
-    let c_layers = obs.counter("dhub_analyze_layers_total");
-    let c_files = obs.counter("dhub_analyze_files_total");
-    let c_errors = obs.counter("dhub_analyze_errors_total");
+    let counters = AnalyzeCounters::on(obs);
     let results = dhub_par::par_map(threads, layers, |(digest, blob)| {
-        let r = analyze_layer(*digest, blob);
-        match &r {
-            Ok(p) => {
-                c_layers.inc();
-                c_files.add(p.file_count);
+        let start = Instant::now();
+        let r = dhub_par::with_scratch(|scratch| {
+            let r = analyze_layer_scratch(*digest, blob, scratch);
+            match &r {
+                Ok(p) => counters.record_ok(p, scratch.tar_len()),
+                Err(_) => counters.record_err(),
             }
-            Err(_) => c_errors.inc(),
-        }
+            r
+        });
+        counters.record_busy(start.elapsed());
         (*digest, r)
     });
     let mut map = FxHashMap::default();
@@ -278,6 +469,78 @@ mod tests {
     }
 
     #[test]
+    fn fused_matches_reference() {
+        let long = format!("{}/file.bin", "deep/".repeat(60).trim_end_matches('/'));
+        let (digest, blob) = layer_blob(&[
+            TarEntry::dir("usr/"),
+            TarEntry::dir("usr/bin/"),
+            TarEntry::file("usr/bin/bash", b"\x7fELF fake".to_vec()),
+            TarEntry::file("empty", Vec::new()),
+            TarEntry::symlink("usr/bin/sh", "bash"),
+            TarEntry::hardlink("usr/bin/rbash", "usr/bin/bash"),
+            TarEntry::file(&long, vec![0xAB; 1234]),
+        ]);
+        let fast = analyze_layer(digest, &blob).unwrap();
+        let golden = analyze_layer_reference(digest, &blob).unwrap();
+        assert_eq!(fast, golden);
+    }
+
+    #[test]
+    fn reference_agrees_on_errors() {
+        for blob in [&b"not gzip at all"[..], &gzip_compress(&[0xAA; 700], &CompressOptions::fast())[..]]
+        {
+            let fast = analyze_layer(Digest::of(b"x"), blob).unwrap_err();
+            let golden = analyze_layer_reference(Digest::of(b"x"), blob).unwrap_err();
+            assert_eq!(
+                std::mem::discriminant(&fast),
+                std::mem::discriminant(&golden),
+                "fast={fast:?} golden={golden:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_entry_and_file_digests() {
+        let (digest, blob) = layer_blob(&[
+            TarEntry::dir("d/"),
+            TarEntry::file("d/f", b"payload".to_vec()),
+            TarEntry::symlink("d/l", "f"),
+        ]);
+        let mut scratch = Scratch::new();
+        let mut seen = Vec::new();
+        let p = analyze_layer_with(digest, &blob, &mut scratch, |entry, file| {
+            seen.push((entry.path.to_string(), file.map(|(d, data)| (d, data.to_vec()))));
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], ("d/".to_string(), None));
+        assert_eq!(
+            seen[1],
+            ("d/f".to_string(), Some((Digest::of(b"payload"), b"payload".to_vec())))
+        );
+        assert_eq!(seen[2], ("d/l".to_string(), None));
+        assert_eq!(p.files[0].digest, Digest::of(b"payload"));
+    }
+
+    #[test]
+    fn scratch_stops_growing_after_warmup() {
+        let entries: Vec<TarEntry> =
+            (0..20).map(|i| TarEntry::file(&format!("f{i}"), vec![i as u8; 4096])).collect();
+        let blobs: Vec<(Digest, Vec<u8>)> =
+            (0..8).map(|_| layer_blob(&entries)).collect();
+        let mut scratch = Scratch::new();
+        // Warmup: first layer may grow the buffer.
+        analyze_layer_scratch(blobs[0].0, &blobs[0].1, &mut scratch).unwrap();
+        let warm = scratch.stats();
+        for (d, b) in &blobs[1..] {
+            analyze_layer_scratch(*d, b, &mut scratch).unwrap();
+        }
+        let end = scratch.stats();
+        assert_eq!(end.grows, warm.grows, "decompression buffer grew after warmup");
+        assert_eq!(end.acquires, warm.acquires + (blobs.len() - 1) as u64);
+    }
+
+    #[test]
     fn analyze_all_partitions_errors() {
         let (d1, b1) = layer_blob(&[TarEntry::file("f", b"data".to_vec())]);
         let bad = (Digest::of(b"bad"), Arc::new(b"junk".to_vec()));
@@ -296,12 +559,21 @@ mod tests {
         ]);
         let (d2, b2) = layer_blob(&[TarEntry::file("c", b"three".to_vec())]);
         let bad = (Digest::of(b"bad"), Arc::new(b"junk".to_vec()));
+        let cls_ok = (b1.len() + b2.len()) as u64;
+        let tar_ok = (dhub_compress::gzip_decompress(&b1).unwrap().len()
+            + dhub_compress::gzip_decompress(&b2).unwrap().len()) as u64;
         let layers = vec![(d1, Arc::new(b1)), (d2, Arc::new(b2)), bad];
         let obs = MetricsRegistry::new();
         let res = analyze_all_obs(&layers, 2, &obs);
         assert_eq!(obs.counter_value("dhub_analyze_layers_total"), res.layers.len() as u64);
         assert_eq!(obs.counter_value("dhub_analyze_files_total"), 3);
         assert_eq!(obs.counter_value("dhub_analyze_errors_total"), res.errors.len() as u64);
+        assert_eq!(
+            obs.counter_value("dhub_analyze_bytes_total"),
+            cls_ok,
+            "bytes counter must equal the summed cls of analyzed layers"
+        );
+        assert_eq!(obs.counter_value("dhub_analyze_tar_bytes_total"), tar_ok);
     }
 
     #[test]

@@ -131,6 +131,18 @@ fn study_for(
     args: &Parsed,
     out: &mut impl Write,
 ) -> Result<(SyntheticHub, StudyData, Arc<MetricsRegistry>), Box<dyn std::error::Error>> {
+    study_for_with(args, out, |hub, threads, policy, obs| run_study_obs(hub, threads, policy, obs))
+}
+
+/// [`study_for`] with a pluggable pipeline runner, for commands that swap
+/// the analysis stage (e.g. `store` runs the fused analyze+ingest). The
+/// fault-injection setup, progress reporting, and injector teardown stay
+/// identical across runners.
+fn study_for_with(
+    args: &Parsed,
+    out: &mut impl Write,
+    runner: impl FnOnce(&SyntheticHub, usize, &RetryPolicy, &Arc<MetricsRegistry>) -> StudyData,
+) -> Result<(SyntheticHub, StudyData, Arc<MetricsRegistry>), Box<dyn std::error::Error>> {
     let hub = hub_for(args, out)?;
     let (injector, policy) = fault_setup(args)?;
     if let Some(inj) = &injector {
@@ -141,14 +153,14 @@ fn study_for(
     }
     let obs = Arc::new(MetricsRegistry::new());
     let reporter = progress_for(args, &obs);
-    let data = run_study_obs(&hub, threads(args)?, &policy, &obs);
+    let data = runner(&hub, threads(args)?, &policy, &obs);
     if let Some(r) = reporter {
         r.stop();
     }
     if let Some(inj) = &injector {
         // The study is over: detach the injector so post-study consumers
-        // (version analysis, dedup-store ingest) read the registry clean
-        // instead of re-experiencing transient faults or damaged bytes.
+        // (version analysis, …) read the registry clean instead of
+        // re-experiencing transient faults or damaged bytes.
         hub.registry.set_fault_injector(None);
         writeln!(out, "faults fired: {}", inj.stats().total())?;
     }
@@ -366,13 +378,18 @@ fn cmd_carve(args: &Parsed, out: &mut impl Write) -> CmdResult {
 
 fn cmd_store(args: &Parsed, out: &mut impl Write) -> CmdResult {
     use dhub_dedupstore::DedupStore;
-    let (hub, data, obs) = study_for(args, out)?;
-    let store = DedupStore::with_metrics(&obs);
-    for digest in data.layers.keys() {
-        let blob = hub.registry.get_blob(digest).expect("downloaded layers exist");
-        let _ = store.ingest_layer(*digest, &blob);
-    }
-    let st = store.stats();
+    // The fused pipeline profiles and ingests each downloaded layer in a
+    // single decompression/hash pass — the store fills during the study
+    // instead of re-reading every blob afterwards. Downloaded blobs are
+    // digest-verified, so fault injection never skews the dedup stats.
+    let mut store_slot: Option<DedupStore> = None;
+    let (_hub, _data, obs) = study_for_with(args, out, |hub, threads, policy, obs| {
+        let store = DedupStore::with_metrics(obs);
+        let data = dhub_study::pipeline::run_study_store_obs(hub, threads, policy, &store, obs);
+        store_slot = Some(store);
+        data
+    })?;
+    let st = store_slot.expect("runner always fills the slot").stats();
     writeln!(out, "layers          : {}", st.layers)?;
     writeln!(out, "unique objects  : {}", st.unique_objects)?;
     writeln!(out, "logical bytes   : {}", st.logical_bytes)?;

@@ -84,11 +84,83 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn refill(&mut self) {
-        while self.nbits <= 56 && self.pos < self.data.len() {
-            self.acc |= (self.data[self.pos] as u64) << self.nbits;
-            self.pos += 1;
-            self.nbits += 8;
+        if self.pos + 8 <= self.data.len() {
+            // Word path: one unaligned load, then take as many whole bytes
+            // as fit. Masking (rather than OR-ing the full word) preserves
+            // the invariant that bits above `nbits` in `acc` are zero, which
+            // `peek` relies on for zero-padded lookahead at stream end.
+            let take = ((63 - self.nbits) >> 3) as usize;
+            if take > 0 {
+                let w = u64::from_le_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+                self.acc |= (w & ((1u64 << (8 * take)) - 1)) << self.nbits;
+                self.pos += take;
+                self.nbits += 8 * take as u32;
+            }
+        } else {
+            while self.nbits <= 56 && self.pos < self.data.len() {
+                self.acc |= (self.data[self.pos] as u64) << self.nbits;
+                self.pos += 1;
+                self.nbits += 8;
+            }
         }
+    }
+
+    /// Refills if fewer than `n` bits are buffered; returns whether at
+    /// least `n` bits are now available. Unlike [`read_bits`](Self::read_bits)
+    /// this never errors — near stream end callers may go on to [`peek`]
+    /// (zero-padded) and decide for themselves.
+    ///
+    /// [`peek`]: Self::peek
+    #[inline]
+    pub fn ensure(&mut self, n: u32) -> bool {
+        if self.nbits < n {
+            self.refill();
+        }
+        self.nbits >= n
+    }
+
+    /// Returns the next `n` bits (n ≤ 32) without consuming them. Bits past
+    /// the end of input read as zero; callers use [`available`](Self::available)
+    /// to tell padding from data.
+    #[inline]
+    pub fn peek(&self, n: u32) -> u32 {
+        debug_assert!(n <= 32);
+        (self.acc & ((1u64 << n) - 1)) as u32
+    }
+
+    /// Discards `n` buffered bits. `n` must not exceed [`available`](Self::available).
+    #[inline]
+    pub fn consume(&mut self, n: u32) {
+        debug_assert!(n <= self.nbits);
+        self.acc >>= n;
+        self.nbits -= n;
+    }
+
+    /// Number of bits currently buffered (without refilling).
+    #[inline]
+    pub fn available(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Appends `n` raw bytes to `out` in one bulk copy; requires byte
+    /// alignment. The fast-path equivalent of [`read_bytes`](Self::read_bytes)
+    /// for stored DEFLATE blocks.
+    pub fn read_slice_into(&mut self, n: usize, out: &mut Vec<u8>) -> Result<(), OutOfBits> {
+        debug_assert_eq!(self.nbits % 8, 0);
+        let mut n = n;
+        out.reserve(n);
+        while n > 0 && self.nbits > 0 {
+            out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+            n -= 1;
+        }
+        if n > self.data.len() - self.pos {
+            return Err(OutOfBits);
+        }
+        out.extend_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(())
     }
 
     /// Reads `n` bits (n ≤ 32), LSB-first.
@@ -193,6 +265,45 @@ mod tests {
     fn zero_bit_read() {
         let mut r = BitReader::new(&[]);
         assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn peek_consume_matches_read_bits() {
+        let data: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+        let mut a = BitReader::new(&data);
+        let mut b = BitReader::new(&data);
+        for n in [1u32, 3, 7, 8, 13, 16, 25, 32, 5, 2] {
+            assert!(a.ensure(n));
+            let peeked = a.peek(n);
+            a.consume(n);
+            assert_eq!(peeked, b.read_bits(n).unwrap());
+        }
+    }
+
+    #[test]
+    fn peek_zero_pads_past_end() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(!r.ensure(16));
+        assert_eq!(r.available(), 8);
+        // High 8 bits of the peek are padding zeros, not data.
+        assert_eq!(r.peek(16), 0x00FF);
+    }
+
+    #[test]
+    fn read_slice_into_bulk_and_buffered() {
+        let data: Vec<u8> = (0..40u32).map(|i| i as u8).collect();
+        let mut r = BitReader::new(&data);
+        // Force bytes into the accumulator first, then byte-align.
+        assert_eq!(r.read_bits(8).unwrap(), 0);
+        assert!(r.ensure(32));
+        let mut out = vec![0xEE];
+        r.read_slice_into(30, &mut out).unwrap();
+        assert_eq!(out[0], 0xEE);
+        assert_eq!(&out[1..], &data[1..31]);
+        r.read_slice_into(9, &mut out).unwrap();
+        assert_eq!(&out[31..], &data[31..40]);
+        assert!(r.is_exhausted());
+        assert_eq!(r.read_slice_into(1, &mut out), Err(OutOfBits));
     }
 
     #[test]

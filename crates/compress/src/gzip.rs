@@ -6,7 +6,7 @@
 //! decoder verifies.
 
 use crate::deflate::{deflate, CompressOptions};
-use crate::inflate::{inflate, InflateError};
+use crate::inflate::{inflate_into, inflate_reference, InflateError};
 use dhub_digest::crc32;
 
 /// gzip magic bytes.
@@ -27,10 +27,12 @@ pub enum GzipError {
     BadOptionalField,
     /// The embedded DEFLATE stream is invalid.
     Deflate(InflateError),
-    /// CRC-32 trailer mismatch.
-    BadCrc,
-    /// ISIZE trailer mismatch.
-    BadLength,
+    /// CRC-32 trailer mismatch: the trailer claimed `want`, the payload
+    /// hashed to `got`.
+    BadCrc { want: u32, got: u32 },
+    /// ISIZE trailer mismatch: the trailer claimed `want` bytes, the payload
+    /// decompressed to `got`.
+    BadLength { want: u32, got: u32 },
 }
 
 impl std::fmt::Display for GzipError {
@@ -40,8 +42,12 @@ impl std::fmt::Display for GzipError {
             GzipError::BadHeader => f.write_str("bad gzip header"),
             GzipError::BadOptionalField => f.write_str("malformed optional gzip header field"),
             GzipError::Deflate(e) => write!(f, "deflate error: {e}"),
-            GzipError::BadCrc => f.write_str("gzip crc mismatch"),
-            GzipError::BadLength => f.write_str("gzip isize mismatch"),
+            GzipError::BadCrc { want, got } => {
+                write!(f, "gzip crc mismatch (trailer 0x{want:08x}, payload 0x{got:08x})")
+            }
+            GzipError::BadLength { want, got } => {
+                write!(f, "gzip isize mismatch (trailer {want}, payload {got})")
+            }
         }
     }
 }
@@ -64,8 +70,8 @@ pub fn gzip_compress(data: &[u8], opts: &CompressOptions) -> Vec<u8> {
     out
 }
 
-/// Decompresses a single gzip member, verifying CRC-32 and ISIZE.
-pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, GzipError> {
+/// Parses the header, returning `(body, want_crc, want_len)`.
+fn gzip_frame(data: &[u8]) -> Result<(&[u8], u32, u32), GzipError> {
     if data.len() < 18 {
         return Err(GzipError::Truncated);
     }
@@ -101,14 +107,59 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, GzipError> {
         return Err(GzipError::BadOptionalField);
     }
     let body = &data[pos..data.len() - 8];
-    let out = inflate(body).map_err(GzipError::Deflate)?;
     let want_crc = u32::from_le_bytes(data[data.len() - 8..data.len() - 4].try_into().unwrap());
     let want_len = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
-    if crc32(&out) != want_crc {
-        return Err(GzipError::BadCrc);
+    Ok((body, want_crc, want_len))
+}
+
+/// Output pre-size from the ISIZE footer. The footer is advisory until the
+/// CRC check passes, so an implausible value (smaller than half the
+/// compressed body, or past the 1032:1 DEFLATE expansion bound) falls back
+/// to the old 3× heuristic / the bound — a corrupt footer must not drive a
+/// multi-gigabyte reserve.
+fn isize_hint(body_len: usize, want_len: u32) -> usize {
+    let hint = want_len as usize;
+    if hint < body_len / 2 {
+        body_len.saturating_mul(3)
+    } else {
+        hint.min(body_len.saturating_mul(1032).max(4096))
+    }
+}
+
+/// Decompresses a single gzip member, verifying CRC-32 and ISIZE.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, GzipError> {
+    let mut out = Vec::new();
+    gzip_decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses into `out` (cleared first, capacity kept), pre-sizing from
+/// the trailer ISIZE. The reusable-buffer form the fused analysis path
+/// feeds from its per-worker scratch arena.
+pub fn gzip_decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), GzipError> {
+    let (body, want_crc, want_len) = gzip_frame(data)?;
+    inflate_into(body, out, Some(isize_hint(body.len(), want_len)))
+        .map_err(GzipError::Deflate)?;
+    let got_crc = crc32(out);
+    if got_crc != want_crc {
+        return Err(GzipError::BadCrc { want: want_crc, got: got_crc });
     }
     if out.len() as u32 != want_len {
-        return Err(GzipError::BadLength);
+        return Err(GzipError::BadLength { want: want_len, got: out.len() as u32 });
+    }
+    Ok(())
+}
+
+/// Pre-fusion golden model: same framing checks over [`inflate_reference`].
+pub fn gzip_decompress_reference(data: &[u8]) -> Result<Vec<u8>, GzipError> {
+    let (body, want_crc, want_len) = gzip_frame(data)?;
+    let out = inflate_reference(body).map_err(GzipError::Deflate)?;
+    let got_crc = crc32(&out);
+    if got_crc != want_crc {
+        return Err(GzipError::BadCrc { want: want_crc, got: got_crc });
+    }
+    if out.len() as u32 != want_len {
+        return Err(GzipError::BadLength { want: want_len, got: out.len() as u32 });
     }
     Ok(out)
 }
@@ -155,18 +206,53 @@ mod tests {
 
     #[test]
     fn rejects_corrupt_crc() {
-        let mut gz = gzip_compress(b"data data data", &CompressOptions::default());
+        let payload = b"data data data";
+        let mut gz = gzip_compress(payload, &CompressOptions::default());
         let n = gz.len();
         gz[n - 5] ^= 0xff;
-        assert_eq!(gzip_decompress(&gz).unwrap_err(), GzipError::BadCrc);
+        // The error must carry both sides of the mismatch: the (corrupted)
+        // trailer value and the CRC of the actual payload.
+        let err = gzip_decompress(&gz).unwrap_err();
+        let good = crc32(payload);
+        assert_eq!(err, GzipError::BadCrc { want: good ^ 0xff00_0000, got: good });
+        assert!(err.to_string().contains("crc mismatch"), "{err}");
+        assert_eq!(gzip_decompress_reference(&gz).unwrap_err(), err);
     }
 
     #[test]
     fn rejects_corrupt_isize() {
-        let mut gz = gzip_compress(b"data data data", &CompressOptions::default());
+        let payload = b"data data data";
+        let mut gz = gzip_compress(payload, &CompressOptions::default());
         let n = gz.len();
         gz[n - 1] ^= 0xff;
-        assert_eq!(gzip_decompress(&gz).unwrap_err(), GzipError::BadLength);
+        // A corrupt ISIZE also feeds the decoder a bogus pre-size hint; the
+        // plausibility clamp must keep that from mattering.
+        let want = payload.len() as u32 | 0xff00_0000;
+        let err = gzip_decompress(&gz).unwrap_err();
+        assert_eq!(err, GzipError::BadLength { want, got: payload.len() as u32 });
+        assert_eq!(gzip_decompress_reference(&gz).unwrap_err(), err);
+    }
+
+    #[test]
+    fn isize_hint_plausibility() {
+        // Exact footer: trusted.
+        assert_eq!(isize_hint(1000, 2500), 2500);
+        // Footer implausibly small (corrupt): 3× heuristic.
+        assert_eq!(isize_hint(1000, 3), 3000);
+        // Footer implausibly large (corrupt): clamped to the DEFLATE
+        // expansion bound, never a runaway reserve.
+        assert_eq!(isize_hint(1000, u32::MAX), 1_032_000);
+    }
+
+    #[test]
+    fn into_matches_owned_and_reference() {
+        let data = b"FROM ubuntu\nADD . /srv\n".repeat(200);
+        let gz = gzip_compress(&data, &CompressOptions::default());
+        let mut buf = Vec::new();
+        gzip_decompress_into(&gz, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(gzip_decompress(&gz).unwrap(), data);
+        assert_eq!(gzip_decompress_reference(&gz).unwrap(), data);
     }
 
     #[test]

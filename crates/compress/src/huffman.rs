@@ -221,6 +221,148 @@ impl Decoder {
     }
 }
 
+/// Root-table width for [`TableDecoder`]. Codes up to this length decode in
+/// a single lookup; longer codes chain through one subtable.
+const PRIMARY_BITS: u32 = 10;
+
+/// Flag bit marking a primary entry as a link to a subtable.
+const LINK: u32 = 0x8000_0000;
+
+/// Table-driven canonical Huffman decoder: a `1 << PRIMARY_BITS` root table
+/// plus second-level subtables for codes longer than [`PRIMARY_BITS`].
+///
+/// Entries are `u32`s: a direct entry packs `(symbol << 16) | code_len`; a
+/// link entry sets [`LINK`] and packs `(subtable_base << 8) | subtable_bits`.
+/// Unreachable patterns (holes in incomplete codes) stay zero and decode to
+/// [`HuffError::BadCode`]. Accepts exactly the length sets [`Decoder::new`]
+/// accepts and returns the same error kinds [`Decoder::decode`] would, so
+/// the two are interchangeable; this one trades build cost for a decode
+/// that touches at most two table entries instead of one branch per bit.
+#[derive(Debug)]
+pub struct TableDecoder {
+    primary: Vec<u32>,
+    sub: Vec<u32>,
+    max_len: u8,
+}
+
+impl TableDecoder {
+    /// Builds the lookup tables from code lengths. Validation is identical
+    /// to [`Decoder::new`]: over-subscribed sets and incomplete sets (other
+    /// than the single-symbol degenerate code) are rejected.
+    pub fn new(lengths: &[u8]) -> Result<TableDecoder, HuffError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len == 0 {
+            return Err(HuffError::InvalidLengths);
+        }
+        let mut count = vec![0u32; max_len as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut left: i64 = 1;
+        for &c in &count[1..=max_len as usize] {
+            left <<= 1;
+            left -= c as i64;
+            if left < 0 {
+                return Err(HuffError::InvalidLengths);
+            }
+        }
+        let total: u32 = count.iter().sum();
+        if left > 0 && total != 1 {
+            return Err(HuffError::InvalidLengths);
+        }
+
+        let codes = canonical_codes(lengths);
+        let mut primary = vec![0u32; 1 << PRIMARY_BITS];
+        let mut sub: Vec<u32> = Vec::new();
+
+        // Short codes stride-fill the root table directly.
+        for (sym, &len) in lengths.iter().enumerate() {
+            let len = len as u32;
+            if len == 0 || len > PRIMARY_BITS {
+                continue;
+            }
+            let entry = ((sym as u32) << 16) | len;
+            let mut idx = codes[sym] as usize;
+            while idx < (1 << PRIMARY_BITS) {
+                primary[idx] = entry;
+                idx += 1 << len;
+            }
+        }
+
+        if max_len as u32 > PRIMARY_BITS {
+            // Long codes: group by their low PRIMARY_BITS (the first bits on
+            // the wire — `canonical_codes` is already LSB-first), size each
+            // prefix's subtable by its deepest code, then stride-fill.
+            let mut sub_max = vec![0u8; 1 << PRIMARY_BITS];
+            for (sym, &len) in lengths.iter().enumerate() {
+                if (len as u32) > PRIMARY_BITS {
+                    let prefix = (codes[sym] as usize) & ((1 << PRIMARY_BITS) - 1);
+                    sub_max[prefix] = sub_max[prefix].max(len);
+                }
+            }
+            let mut base = vec![0u32; 1 << PRIMARY_BITS];
+            for prefix in 0..1usize << PRIMARY_BITS {
+                if sub_max[prefix] == 0 {
+                    continue;
+                }
+                let sub_bits = sub_max[prefix] as u32 - PRIMARY_BITS;
+                base[prefix] = sub.len() as u32;
+                sub.resize(sub.len() + (1 << sub_bits), 0);
+                primary[prefix] = LINK | (base[prefix] << 8) | sub_bits;
+            }
+            for (sym, &len) in lengths.iter().enumerate() {
+                let len = len as u32;
+                if len <= PRIMARY_BITS {
+                    continue;
+                }
+                let prefix = (codes[sym] as usize) & ((1 << PRIMARY_BITS) - 1);
+                let sub_bits = sub_max[prefix] as u32 - PRIMARY_BITS;
+                let entry = ((sym as u32) << 16) | len;
+                let mut idx = (codes[sym] as usize) >> PRIMARY_BITS;
+                while idx < (1 << sub_bits) {
+                    sub[base[prefix] as usize + idx] = entry;
+                    idx += 1 << (len - PRIMARY_BITS);
+                }
+            }
+        }
+
+        Ok(TableDecoder { primary, sub, max_len })
+    }
+
+    /// Decodes one symbol from `r` via zero-padded lookahead.
+    ///
+    /// Error mapping matches the bit-by-bit walk exactly: a valid entry
+    /// whose code length exceeds the remaining input is `Truncated`; a hole
+    /// is `BadCode` only when a full `max_len` bits were actually available
+    /// (otherwise the walk would have run dry first).
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, HuffError> {
+        r.ensure(self.max_len as u32);
+        let mut entry = self.primary[r.peek(PRIMARY_BITS) as usize];
+        if entry & LINK != 0 {
+            let sub_bits = entry & 0xff;
+            let base = (entry >> 8) & 0x7fff;
+            let idx = r.peek(PRIMARY_BITS + sub_bits) >> PRIMARY_BITS;
+            entry = self.sub[(base + idx) as usize];
+        }
+        if entry == 0 {
+            return if r.available() < self.max_len as u32 {
+                Err(HuffError::Truncated)
+            } else {
+                Err(HuffError::BadCode)
+            };
+        }
+        let len = entry & 0x1f;
+        if len > r.available() {
+            return Err(HuffError::Truncated);
+        }
+        r.consume(len);
+        Ok((entry >> 16) as u16)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +458,61 @@ mod tests {
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         assert_eq!(dec.decode(&mut r).unwrap(), 1);
+    }
+
+    #[test]
+    fn table_decoder_matches_bitwise_decoder() {
+        // Deep, skewed tree: forces codes past PRIMARY_BITS so both the
+        // root table and the subtable path are exercised.
+        let freqs: Vec<u64> = (0..40).map(|i| 1u64 << (i / 3).min(13)).collect();
+        let lens = limited_code_lengths(&freqs, 15);
+        assert!(lens.iter().any(|&l| l as u32 > super::PRIMARY_BITS), "want long codes");
+        let codes = canonical_codes(&lens);
+        let bitwise = Decoder::new(&lens).unwrap();
+        let table = TableDecoder::new(&lens).unwrap();
+        let msg: Vec<u16> = (0..2000u32).map(|i| (i * 13 % 40) as u16).collect();
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            w.write_bits(codes[s as usize] as u32, lens[s as usize] as u32);
+        }
+        let bytes = w.finish();
+        let (mut r1, mut r2) = (BitReader::new(&bytes), BitReader::new(&bytes));
+        for &s in &msg {
+            assert_eq!(bitwise.decode(&mut r1).unwrap(), s);
+            assert_eq!(table.decode(&mut r2).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn table_decoder_validation_matches() {
+        assert_eq!(TableDecoder::new(&[1, 1, 1]).unwrap_err(), HuffError::InvalidLengths);
+        assert_eq!(TableDecoder::new(&[2, 2, 2]).unwrap_err(), HuffError::InvalidLengths);
+        assert_eq!(TableDecoder::new(&[0, 0]).unwrap_err(), HuffError::InvalidLengths);
+        assert!(TableDecoder::new(&[0, 1, 0]).is_ok());
+    }
+
+    #[test]
+    fn table_decoder_single_code_and_hole() {
+        let dec = TableDecoder::new(&[0, 1, 0]).unwrap();
+        let mut w = BitWriter::new();
+        w.write_bits(0, 1);
+        w.write_bits(1, 1); // the unassigned half of the code space
+        for _ in 0..14 {
+            w.write_bits(1, 1); // pad so max_len bits are available
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r).unwrap(), 1);
+        r.consume(0); // no-op; next decode peeks the hole
+        assert_eq!(dec.decode(&mut r).unwrap_err(), HuffError::BadCode);
+    }
+
+    #[test]
+    fn table_decoder_truncated() {
+        let lens = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let dec = TableDecoder::new(&lens).unwrap();
+        let mut r = BitReader::new(&[]);
+        assert_eq!(dec.decode(&mut r).unwrap_err(), HuffError::Truncated);
     }
 
     #[test]

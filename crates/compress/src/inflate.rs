@@ -1,8 +1,19 @@
 //! DEFLATE decoder (RFC 1951).
+//!
+//! Two implementations share one error type and must agree bit-for-bit:
+//!
+//! * the **fast path** ([`inflate`] / [`inflate_into`]) — table-driven
+//!   Huffman decode ([`TableDecoder`]) over a u64-refill [`BitReader`],
+//!   overlap-safe chunked match copies, and output pre-sizing from a
+//!   caller-provided hint (the gzip ISIZE footer);
+//! * the **reference path** ([`inflate_reference`]) — the original
+//!   bit-by-bit decoder, kept verbatim as the golden model for the
+//!   equivalence property suite and the before/after benchmarks.
 
 use crate::bitio::{BitReader, OutOfBits};
-use crate::huffman::{Decoder, HuffError};
+use crate::huffman::{Decoder, HuffError, TableDecoder};
 use crate::tables::{fixed_dist_lengths, fixed_lit_lengths, CLCL_ORDER, DIST_CODES, LENGTH_CODES};
+use std::sync::OnceLock;
 
 /// Errors raised on malformed DEFLATE streams.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,42 +65,64 @@ impl From<HuffError> for InflateError {
 
 /// Decompresses a raw DEFLATE stream.
 pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut out = Vec::new();
+    inflate_into(data, &mut out, None)?;
+    Ok(out)
+}
+
+/// Decompresses into `out`, which is cleared first (its capacity is kept,
+/// so a reused buffer pays no allocation once warm). `size_hint` pre-sizes
+/// the output — gzip callers pass the trailer ISIZE; `None` falls back to
+/// the 3× heuristic.
+pub fn inflate_into(
+    data: &[u8],
+    out: &mut Vec<u8>,
+    size_hint: Option<usize>,
+) -> Result<(), InflateError> {
+    out.clear();
+    out.reserve(size_hint.unwrap_or_else(|| data.len().saturating_mul(3)));
     let mut r = BitReader::new(data);
-    let mut out = Vec::with_capacity(data.len() * 3);
     loop {
         let last = r.read_bit()? == 1;
         match r.read_bits(2)? {
-            0b00 => stored_block(&mut r, &mut out)?,
-            0b01 => {
-                let lit = Decoder::new(&fixed_lit_lengths()).expect("fixed table");
-                let dist = Decoder::new(&fixed_dist_lengths()).expect("fixed table");
-                huffman_block(&mut r, &mut out, &lit, &dist)?;
-            }
+            0b00 => stored_block_fast(&mut r, out)?,
+            0b01 => huffman_block_fast(&mut r, out, fixed_lit_table(), fixed_dist_table())?,
             0b10 => {
-                let (lit, dist) = dynamic_tables(&mut r)?;
-                huffman_block(&mut r, &mut out, &lit, &dist)?;
+                let (lit, dist) = dynamic_tables_fast(&mut r)?;
+                huffman_block_fast(&mut r, out, &lit, &dist)?;
             }
             _ => return Err(InflateError::BadBlockType),
         }
         if last {
-            return Ok(out);
+            return Ok(());
         }
     }
 }
 
-fn stored_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+fn fixed_lit_table() -> &'static TableDecoder {
+    static T: OnceLock<TableDecoder> = OnceLock::new();
+    T.get_or_init(|| TableDecoder::new(&fixed_lit_lengths()).expect("fixed table"))
+}
+
+fn fixed_dist_table() -> &'static TableDecoder {
+    static T: OnceLock<TableDecoder> = OnceLock::new();
+    T.get_or_init(|| TableDecoder::new(&fixed_dist_lengths()).expect("fixed table"))
+}
+
+fn stored_block_fast(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
     r.align_byte();
     let len = r.read_bits(16)? as u16;
     let nlen = r.read_bits(16)? as u16;
     if len != !nlen {
         return Err(InflateError::BadStoredLength);
     }
-    let bytes = r.read_bytes(len as usize).map_err(|_| InflateError::Truncated)?;
-    out.extend_from_slice(&bytes);
-    Ok(())
+    r.read_slice_into(len as usize, out).map_err(|_| InflateError::Truncated)
 }
 
-fn dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateError> {
+/// Parses the HLIT/HDIST/HCLEN header and code-length stream into one
+/// lengths vector plus the literal-table width. Shared by both paths so
+/// they cannot diverge on header validation.
+fn dynamic_lengths(r: &mut BitReader<'_>) -> Result<(Vec<u8>, usize), InflateError> {
     let hlit = r.read_bits(5)? as usize + 257;
     let hdist = r.read_bits(5)? as usize + 1;
     let hclen = r.read_bits(4)? as usize + 4;
@@ -126,6 +159,113 @@ fn dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateEr
         // A repeat ran past the boundary between the two tables.
         return Err(InflateError::BadHuffmanTable);
     }
+    Ok((lens, hlit))
+}
+
+fn dynamic_tables_fast(
+    r: &mut BitReader<'_>,
+) -> Result<(TableDecoder, TableDecoder), InflateError> {
+    let (lens, hlit) = dynamic_lengths(r)?;
+    let lit = TableDecoder::new(&lens[..hlit])?;
+    let dist = TableDecoder::new(&lens[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn huffman_block_fast(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &TableDecoder,
+    dist: &TableDecoder,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(r)?;
+        if sym < 256 {
+            out.push(sym as u8);
+            continue;
+        }
+        if sym == 256 {
+            return Ok(());
+        }
+        if sym > 285 {
+            return Err(InflateError::BadSymbol);
+        }
+        let (base, extra) = LENGTH_CODES[sym as usize - 257];
+        let len = base as usize + r.read_bits(extra as u32)? as usize;
+        let dsym = dist.decode(r)?;
+        if dsym as usize >= DIST_CODES.len() {
+            return Err(InflateError::BadSymbol);
+        }
+        let (dbase, dextra) = DIST_CODES[dsym as usize];
+        let d = dbase as usize + r.read_bits(dextra as u32)? as usize;
+        if d > out.len() {
+            return Err(InflateError::DistanceTooFar);
+        }
+        copy_match(out, d, len);
+    }
+}
+
+/// Appends `len` bytes starting `d` back from the end of `out`. Handles the
+/// overlapping case (`d < len`) without a per-byte loop: each
+/// `extend_from_within` doubles the available source window, so the copy
+/// finishes in O(log(len/d)) memcpys.
+#[inline]
+fn copy_match(out: &mut Vec<u8>, d: usize, len: usize) {
+    let start = out.len() - d;
+    if d >= len {
+        out.extend_from_within(start..start + len);
+    } else if d == 1 {
+        let b = out[out.len() - 1];
+        out.resize(out.len() + len, b);
+    } else {
+        let mut remaining = len;
+        while remaining > 0 {
+            let chunk = (out.len() - start).min(remaining);
+            out.extend_from_within(start..start + chunk);
+            remaining -= chunk;
+        }
+    }
+}
+
+/// The pre-fusion bit-by-bit decoder, kept as the golden model the fast
+/// path is property-tested against.
+pub fn inflate_reference(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(data.len() * 3);
+    loop {
+        let last = r.read_bit()? == 1;
+        match r.read_bits(2)? {
+            0b00 => stored_block(&mut r, &mut out)?,
+            0b01 => {
+                let lit = Decoder::new(&fixed_lit_lengths()).expect("fixed table");
+                let dist = Decoder::new(&fixed_dist_lengths()).expect("fixed table");
+                huffman_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            0b10 => {
+                let (lit, dist) = dynamic_tables(&mut r)?;
+                huffman_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            _ => return Err(InflateError::BadBlockType),
+        }
+        if last {
+            return Ok(out);
+        }
+    }
+}
+
+fn stored_block(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+    r.align_byte();
+    let len = r.read_bits(16)? as u16;
+    let nlen = r.read_bits(16)? as u16;
+    if len != !nlen {
+        return Err(InflateError::BadStoredLength);
+    }
+    let bytes = r.read_bytes(len as usize).map_err(|_| InflateError::Truncated)?;
+    out.extend_from_slice(&bytes);
+    Ok(())
+}
+
+fn dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateError> {
+    let (lens, hlit) = dynamic_lengths(r)?;
     let lit = Decoder::new(&lens[..hlit])?;
     let dist = Decoder::new(&lens[hlit..])?;
     Ok((lit, dist))
@@ -203,13 +343,16 @@ mod tests {
 
     #[test]
     fn zlib_repeated_text_stream() {
-        // zlib level 6 raw deflate of 20 copies of the fox sentence.
+        // zlib level 6 raw deflate of 20 copies of the fox sentence. The
+        // sentence repeats at distance 45 with match lengths well past it,
+        // so this exercises the overlapping chunked copy.
         let raw: Vec<u8> = {
             let hex = "2bc94855282ccd4cce56482aca2fcf5348cbaf50c82acd2d2856c82f4b2d5228014ae72456552aa4e4a7eb8179a38a47158f2aa6aa6200";
             (0..hex.len()).step_by(2).map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap()).collect()
         };
         let expect: Vec<u8> = b"the quick brown fox jumps over the lazy dog. ".repeat(20);
         assert_eq!(inflate(&raw).unwrap(), expect);
+        assert_eq!(inflate_reference(&raw).unwrap(), expect);
     }
 
     #[test]
@@ -236,6 +379,8 @@ mod tests {
     fn truncated_stream() {
         assert_eq!(inflate(&[]).unwrap_err(), InflateError::Truncated);
         assert_eq!(inflate(&[0x4b]).unwrap_err(), InflateError::Truncated);
+        assert_eq!(inflate_reference(&[]).unwrap_err(), InflateError::Truncated);
+        assert_eq!(inflate_reference(&[0x4b]).unwrap_err(), InflateError::Truncated);
     }
 
     #[test]
@@ -253,5 +398,42 @@ mod tests {
         // Distance code 0, 5 bits, code value 0.
         w.write_bits(0, 5);
         assert_eq!(inflate(&w.finish()).unwrap_err(), InflateError::DistanceTooFar);
+    }
+
+    #[test]
+    fn inflate_into_reuses_capacity() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_byte();
+        w.write_bytes(&5u16.to_le_bytes());
+        w.write_bytes(&(!5u16).to_le_bytes());
+        w.write_bytes(b"hello");
+        let stream = w.finish();
+        let mut out = Vec::with_capacity(4096);
+        let ptr = out.as_ptr();
+        inflate_into(&stream, &mut out, Some(5)).unwrap();
+        assert_eq!(out, b"hello");
+        assert_eq!(out.as_ptr(), ptr, "warm buffer must not reallocate");
+        out.push(b'!'); // dirty it; the next call must clear
+        inflate_into(&stream, &mut out, Some(5)).unwrap();
+        assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn fast_matches_reference_on_deflate_output() {
+        use crate::deflate::{deflate, CompressOptions};
+        let mut data = Vec::new();
+        for i in 0..50_000u32 {
+            data.push((i % 251) as u8);
+            if i % 7 == 0 {
+                data.extend_from_slice(b"docker layer payload ");
+            }
+        }
+        let stream = deflate(&data, &CompressOptions::default());
+        let fast = inflate(&stream).unwrap();
+        let slow = inflate_reference(&stream).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast, data);
     }
 }

@@ -29,6 +29,8 @@ pub mod zlib;
 mod tables;
 
 pub use deflate::{deflate, CompressOptions};
-pub use gzip::{gzip_compress, gzip_decompress, GzipError};
-pub use inflate::{inflate, InflateError};
+pub use gzip::{
+    gzip_compress, gzip_decompress, gzip_decompress_into, gzip_decompress_reference, GzipError,
+};
+pub use inflate::{inflate, inflate_into, inflate_reference, InflateError};
 pub use zlib::{adler32, zlib_compress, zlib_decompress, ZlibError};

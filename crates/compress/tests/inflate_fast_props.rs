@@ -1,0 +1,86 @@
+//! Equivalence properties for the table-driven inflate fast path.
+//!
+//! Unlike `tests/props.rs` this suite is NOT feature-gated: the fast path
+//! is what every layer in the study flows through, and its golden model —
+//! the original bit-by-bit decoder, kept as `inflate_reference` — must
+//! agree with it on every stream, valid or garbage. Replayable via
+//! `PROPTEST_SEED` like every other property suite in the workspace.
+
+use dhub_compress::{
+    deflate, gzip_compress, gzip_decompress, gzip_decompress_reference, inflate, inflate_into,
+    inflate_reference, CompressOptions,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fast inflate round-trips our own deflate output on arbitrary bytes.
+    #[test]
+    fn fast_roundtrips_deflate(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = deflate(&data, &CompressOptions::default());
+        let fast = inflate(&c).unwrap();
+        prop_assert_eq!(&fast, &data);
+        prop_assert_eq!(inflate_reference(&c).unwrap(), fast);
+    }
+
+    /// Repetitive input: long overlapping matches hit the chunked
+    /// `extend_from_within` copy at every distance class.
+    #[test]
+    fn fast_roundtrips_repetitive(byte in any::<u8>(), n in 0usize..50_000, period in 1usize..64) {
+        let data: Vec<u8> = (0..n).map(|i| byte.wrapping_add((i % period) as u8)).collect();
+        let c = deflate(&data, &CompressOptions::default());
+        let fast = inflate(&c).unwrap();
+        prop_assert_eq!(&fast, &data);
+        prop_assert_eq!(inflate_reference(&c).unwrap(), fast);
+    }
+
+    /// `inflate_into` with a wrong-but-plausible size hint changes only
+    /// allocation behavior, never bytes.
+    #[test]
+    fn size_hint_is_advisory(data in proptest::collection::vec(any::<u8>(), 0..8_000), hint in 0usize..65_536) {
+        let c = deflate(&data, &CompressOptions::fast());
+        let mut out = Vec::new();
+        inflate_into(&c, &mut out, Some(hint)).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    /// On arbitrary garbage the fast path and the reference agree: both
+    /// accept with identical bytes or both reject.
+    #[test]
+    fn fast_matches_reference_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..2_000)) {
+        let fast = inflate(&data);
+        let slow = inflate_reference(&data);
+        match (fast, slow) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "fast={:?} reference={:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// Same agreement at the gzip framing layer (ISIZE pre-size, CRC check).
+    #[test]
+    fn gzip_fast_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
+        let gz = gzip_compress(&data, &CompressOptions::fast());
+        let fast = gzip_decompress(&gz).unwrap();
+        prop_assert_eq!(&fast, &data);
+        prop_assert_eq!(gzip_decompress_reference(&gz).unwrap(), fast);
+    }
+
+    /// Corrupting one byte anywhere in a member never panics either path,
+    /// and acceptance agrees (a flipped bit that still decodes must decode
+    /// to the same bytes).
+    #[test]
+    fn corrupted_member_agreement(data in proptest::collection::vec(any::<u8>(), 1..4_000), at in any::<u16>(), mask in any::<u8>()) {
+        let mut gz = gzip_compress(&data, &CompressOptions::fast());
+        let i = at as usize % gz.len();
+        gz[i] ^= mask | 1;
+        let fast = gzip_decompress(&gz);
+        let slow = gzip_decompress_reference(&gz);
+        match (fast, slow) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "fast={:?} reference={:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+}

@@ -13,10 +13,14 @@
 //! * [`recipe`] — the layer recipe model with JSON (de)serialization,
 //! * [`store`] — the store itself: ingest, reconstruct, per-file
 //!   refcounting, layer deletion with garbage collection, and savings
-//!   accounting.
+//!   accounting,
+//! * [`fused`] — single-pass analyze + ingest sharing one decompression
+//!   and one content hash per file with the profiler.
 
+pub mod fused;
 pub mod recipe;
 pub mod store;
 
+pub use fused::{analyze_and_ingest, analyze_and_ingest_all, FusedResult};
 pub use recipe::{EntryMeta, LayerRecipe, RecipeEntryKind};
-pub use store::{DedupStore, IngestStats, StoreError, StoreStats};
+pub use store::{DedupStore, IngestStats, PendingEntry, StoreError, StoreStats};

@@ -1,11 +1,13 @@
 //! The deduplicating store itself.
 
 use crate::recipe::{EntryMeta, LayerRecipe, RecipeEntryKind};
-use dhub_compress::{gzip_compress, gzip_decompress, CompressOptions};
+use dhub_compress::{
+    gzip_compress, gzip_decompress_into, gzip_decompress_reference, CompressOptions,
+};
 use dhub_digest::FxHashMap;
 use dhub_model::Digest;
 use dhub_obs::{Counter, Gauge, MetricsRegistry};
-use dhub_tar::{read_archive, EntryKind, TarEntry, Writer};
+use dhub_tar::{read_archive, EntryKind, EntryView, EntryViewKind, TarEntry, TarView, Writer};
 use dhub_sync::RwLock;
 use std::sync::Arc;
 
@@ -112,6 +114,48 @@ impl StoreMetrics {
     }
 }
 
+/// One parsed layer entry staged for [`DedupStore::commit_parsed`]:
+/// owned recipe metadata plus, for regular files, the content digest and
+/// a payload slice still borrowing the decompressed tar. Producing these
+/// from an analysis pass lets the store ingest a layer without a second
+/// decompression or hash.
+pub struct PendingEntry<'a> {
+    /// Recipe metadata for this entry (path, kind, mode, owner, mtime).
+    pub meta: EntryMeta,
+    /// For regular files: content digest + borrowed payload.
+    pub file: Option<(Digest, &'a [u8])>,
+}
+
+impl<'a> PendingEntry<'a> {
+    /// Stages a zero-copy tar entry. `file` may carry an
+    /// already-computed `(digest, payload)` pair (from the fused analysis
+    /// sink); when absent for a file entry the digest is computed here.
+    pub fn from_view(entry: &EntryView<'a>, file: Option<(Digest, &'a [u8])>) -> PendingEntry<'a> {
+        let file = match entry.kind {
+            EntryViewKind::File(data) => Some(file.unwrap_or_else(|| (Digest::of(data), data))),
+            _ => None,
+        };
+        let kind = match (&entry.kind, &file) {
+            (EntryViewKind::File(_), Some((d, _))) => RecipeEntryKind::File(*d),
+            (EntryViewKind::Dir, _) => RecipeEntryKind::Dir,
+            (EntryViewKind::Symlink(t), _) => RecipeEntryKind::Symlink(t.to_string()),
+            (EntryViewKind::Hardlink(t), _) => RecipeEntryKind::Hardlink(t.to_string()),
+            (EntryViewKind::File(_), None) => unreachable!("file pair filled in above"),
+        };
+        PendingEntry {
+            meta: EntryMeta {
+                path: entry.path.clone().into_owned(),
+                kind,
+                mode: entry.mode,
+                uid: entry.uid,
+                gid: entry.gid,
+                mtime: entry.mtime,
+            },
+            file,
+        }
+    }
+}
+
 /// A file-level deduplicating layer store.
 ///
 /// Thread-safe: ingest/reconstruct may run concurrently from the analysis
@@ -137,12 +181,98 @@ impl DedupStore {
         DedupStore { metrics: StoreMetrics::on(reg), ..DedupStore::default() }
     }
 
+    /// True when a layer with this digest is already ingested.
+    pub fn contains_layer(&self, layer_digest: &Digest) -> bool {
+        self.recipes.read().contains_key(layer_digest)
+    }
+
     /// Ingests a gzip-compressed layer tarball under `layer_digest`.
+    ///
+    /// Decompresses into the calling thread's scratch arena and walks the
+    /// tar zero-copy; file payloads are copied only when they are new to
+    /// the object store. Callers that already analyzed the layer should
+    /// use [`crate::analyze_and_ingest`] instead, which shares one
+    /// decompression and one hash per file with the profiler.
     pub fn ingest_layer(&self, layer_digest: Digest, blob: &[u8]) -> Result<IngestStats, StoreError> {
+        if self.contains_layer(&layer_digest) {
+            return Err(StoreError::AlreadyIngested);
+        }
+        dhub_par::with_scratch(|scratch| {
+            let buf = scratch.tar_buf();
+            gzip_decompress_into(blob, buf).map_err(|e| StoreError::BadLayer(e.to_string()))?;
+            let tar: &[u8] = buf;
+            let mut pending = Vec::new();
+            for entry in TarView::new(tar) {
+                let entry = entry.map_err(|e| StoreError::BadLayer(e.to_string()))?;
+                pending.push(PendingEntry::from_view(&entry, None));
+            }
+            self.commit_parsed(layer_digest, blob.len() as u64, pending)
+        })
+    }
+
+    /// Commits a layer from already-parsed entries (the tail of every
+    /// ingest path). `blob_len` is the compressed size, charged to the
+    /// conventional-storage counter. Payload bytes are copied into the
+    /// object store only for content the store has not seen.
+    pub fn commit_parsed(
+        &self,
+        layer_digest: Digest,
+        blob_len: u64,
+        pending: Vec<PendingEntry<'_>>,
+    ) -> Result<IngestStats, StoreError> {
+        if self.contains_layer(&layer_digest) {
+            return Err(StoreError::AlreadyIngested);
+        }
+        let mut stats = IngestStats::default();
+        let mut recipe_entries = Vec::with_capacity(pending.len());
+        {
+            let mut objects = self.objects.write();
+            for p in pending {
+                if let Some((digest, data)) = p.file {
+                    stats.files += 1;
+                    match objects.get_mut(&digest) {
+                        Some(obj) => {
+                            obj.refs += 1;
+                            stats.bytes_deduped += data.len() as u64;
+                        }
+                        None => {
+                            stats.new_files += 1;
+                            stats.bytes_added += data.len() as u64;
+                            objects
+                                .insert(digest, ObjectEntry { data: Arc::new(data.to_vec()), refs: 1 });
+                        }
+                    }
+                }
+                recipe_entries.push(p.meta);
+            }
+        }
+        let recipe = LayerRecipe { layer_digest, entries: recipe_entries };
+        self.recipes.write().insert(layer_digest, Arc::new(recipe));
+
+        let mut c = self.counters.write();
+        c.layers += 1;
+        c.physical_bytes += stats.bytes_added;
+        c.logical_bytes += stats.bytes_added + stats.bytes_deduped;
+        c.conventional_bytes += blob_len;
+        c.unique_objects = self.objects.read().len();
+        self.metrics.ingests.inc();
+        self.metrics.dedup_factor.set(c.dedup_factor());
+        Ok(stats)
+    }
+
+    /// Golden-model ingest: the original owned-decompression, owned-entry
+    /// implementation. The equivalence tests assert [`ingest_layer`] (and
+    /// the fused path) produce identical stats, recipes, and store state;
+    /// this baseline stays frozen.
+    pub fn ingest_layer_reference(
+        &self,
+        layer_digest: Digest,
+        blob: &[u8],
+    ) -> Result<IngestStats, StoreError> {
         if self.recipes.read().contains_key(&layer_digest) {
             return Err(StoreError::AlreadyIngested);
         }
-        let tar = gzip_decompress(blob).map_err(|e| StoreError::BadLayer(e.to_string()))?;
+        let tar = gzip_decompress_reference(blob).map_err(|e| StoreError::BadLayer(e.to_string()))?;
         let entries = read_archive(&tar).map_err(|e| StoreError::BadLayer(e.to_string()))?;
 
         let mut stats = IngestStats::default();
@@ -405,6 +535,35 @@ mod tests {
         store.ingest_layer(d, &b).unwrap();
         assert_eq!(store.stats().conventional_bytes, b.len() as u64);
         assert_eq!(store.stats().logical_bytes, 5000);
+    }
+
+    #[test]
+    fn zero_copy_ingest_matches_reference() {
+        let long = format!("{}/file.bin", "deep/".repeat(60).trim_end_matches('/'));
+        let shared = b"shared across layers".as_slice();
+        let layers = vec![
+            layer(&[
+                TarEntry::dir("usr/"),
+                file("usr/bin/tool", shared),
+                file(&long, &[0xAB; 1234]),
+                TarEntry::symlink("usr/bin/t", "tool"),
+                TarEntry::hardlink("usr/bin/t2", "usr/bin/tool"),
+                file("empty", b""),
+            ]),
+            layer(&[file("opt/tool", shared)]),
+        ];
+        let fast = DedupStore::new();
+        let golden = DedupStore::new();
+        for (d, b) in &layers {
+            let sf = fast.ingest_layer(*d, b).unwrap();
+            let sg = golden.ingest_layer_reference(*d, b).unwrap();
+            assert_eq!(sf, sg);
+            assert_eq!(fast.recipe(d).unwrap().entries, golden.recipe(d).unwrap().entries);
+        }
+        assert_eq!(fast.stats(), golden.stats());
+        for (d, _) in &layers {
+            assert_eq!(fast.reconstruct_tar(d).unwrap(), golden.reconstruct_tar(d).unwrap());
+        }
     }
 
     #[test]

@@ -2,14 +2,18 @@
 //!
 //! The gzip trailer carries a CRC-32 of the uncompressed payload; the
 //! from-scratch gzip implementation in `dhub-compress` both emits and checks
-//! it through this module. Uses the classic 8-entries-per-byte table lookup,
-//! with the table built in a `const fn` so there is no runtime init.
+//! it through this module. The kernel is slice-by-8: eight compile-time
+//! tables let each iteration fold in 8 input bytes with 8 independent
+//! lookups instead of a serial per-byte chain, which is what keeps the
+//! trailer check a rounding error next to inflate on the layer hot path.
 
-/// Lookup table for one byte of input, built at compile time.
-const TABLE: [u32; 256] = build_table();
+/// `TABLES[0]` is the classic per-byte table; `TABLES[k]` advances a byte
+/// `k` positions further through the shift register, so one lookup per
+/// table processes 8 bytes at once. All built at compile time.
+const TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -18,10 +22,20 @@ const fn build_table() -> [u32; 256] {
             c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        t[0][i] = c;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = t[0][(prev & 0xff) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 }
 
 /// Incremental CRC-32 state.
@@ -47,8 +61,21 @@ impl Crc32 {
     /// Absorbs `data`.
     pub fn update(&mut self, data: &[u8]) {
         let mut c = !self.state;
-        for &b in data {
-            c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        let mut chunks = data.chunks_exact(8);
+        for ch in &mut chunks {
+            let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+            let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+            c = TABLES[7][(lo & 0xff) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xff) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xff) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xff) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xff) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xff) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = TABLES[0][((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
         }
         self.state = !c;
     }
@@ -107,5 +134,20 @@ mod tests {
         c.update(b"56789");
         assert_eq!(c.finalize(), 0xCBF43926);
         assert_ne!(mid.finalize(), 0xCBF43926);
+    }
+
+    #[test]
+    fn slice_by_8_matches_bytewise_reference() {
+        // Every length 0..64 at every alignment the slice-by-8 kernel can
+        // see (leading remainder handled by update-in-chunks above; here we
+        // sweep lengths so tails of 0..=7 bytes are all hit).
+        let data: Vec<u8> = (0..64u32).map(|i| (i * 131 + 17) as u8).collect();
+        for len in 0..=data.len() {
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in &data[..len] {
+                c = TABLES[0][((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+            }
+            assert_eq!(crc32(&data[..len]), !c, "len {len}");
+        }
     }
 }

@@ -1,10 +1,15 @@
-//! SHA-256 per FIPS 180-4.
+//! SHA-256 per FIPS 180-4, tuned for the layer-analysis hot path.
 //!
 //! Implemented directly from the specification: 512-bit blocks, 64-round
-//! compression over eight 32-bit words of state. The implementation is
-//! incremental ([`Sha256::update`]) so large layer tarballs can be hashed
-//! while streaming, and one-shot helpers ([`sha256`], [`sha256_hex`]) cover
-//! the common case of digesting an in-memory blob.
+//! compression over eight 32-bit words of state. The round loop is
+//! macro-unrolled with rotated register naming (no per-round state
+//! shuffle), full blocks compress straight from the input slice without
+//! staging through the 64-byte buffer, and `finalize` writes the padding
+//! blocks directly instead of feeding padding through `update` a byte at a
+//! time. The implementation is incremental ([`Sha256::update`]) so large
+//! layer tarballs can be hashed while streaming, and one-shot helpers
+//! ([`sha256`], [`sha256_hex`]) cover the common case of digesting an
+//! in-memory blob.
 
 /// Per-round constants: the first 32 bits of the fractional parts of the
 /// cube roots of the first 64 primes (FIPS 180-4 §4.2.2).
@@ -57,7 +62,8 @@ impl Sha256 {
         Sha256 { state: H0, len: 0, buf: [0; 64], buf_len: 0 }
     }
 
-    /// Absorbs `data` into the hash state.
+    /// Absorbs `data` into the hash state. Whole blocks compress straight
+    /// from `data`; only a trailing partial block is staged in `buf`.
     pub fn update(&mut self, data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u64);
         let mut rest = data;
@@ -68,8 +74,7 @@ impl Sha256 {
             self.buf_len += take;
             rest = &rest[take..];
             if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
+                compress(&mut self.state, &self.buf);
                 self.buf_len = 0;
             } else {
                 // Input fit entirely into the partial buffer; the chunk
@@ -79,9 +84,7 @@ impl Sha256 {
         }
         let mut chunks = rest.chunks_exact(64);
         for block in &mut chunks {
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
+            compress(&mut self.state, block.try_into().unwrap());
         }
         let rem = chunks.remainder();
         self.buf[..rem.len()].copy_from_slice(rem);
@@ -91,15 +94,21 @@ impl Sha256 {
     /// Finishes the hash and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80, zeros to 56 mod 64, then the 64-bit big-endian bit length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        // Padding: 0x80, zeros to 56 mod 64, then the 64-bit big-endian bit
+        // length — written directly into the final one or two blocks.
+        let n = self.buf_len;
+        self.buf[n] = 0x80;
+        if n < 56 {
+            self.buf[n + 1..56].fill(0);
+            self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+            compress(&mut self.state, &self.buf);
+        } else {
+            self.buf[n + 1..64].fill(0);
+            compress(&mut self.state, &self.buf);
+            let mut last = [0u8; 64];
+            last[56..64].copy_from_slice(&bit_len.to_be_bytes());
+            compress(&mut self.state, &last);
         }
-        // Manual write of the length: `update` would double-count `len`.
-        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
-        self.compress(&block);
         let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
@@ -111,50 +120,59 @@ impl Sha256 {
     pub fn finalize_hex(self) -> String {
         to_hex(&self.finalize())
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([block[i * 4], block[i * 4 + 1], block[i * 4 + 2], block[i * 4 + 3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+/// One round: `t1`/`t2` from the working registers, writing `d` and `h` in
+/// place. Callers rotate the argument order instead of shuffling eight
+/// registers per round, which is what lets the 64 rounds unroll flat.
+macro_rules! round {
+    ($a:ident,$b:ident,$c:ident,$d:ident,$e:ident,$f:ident,$g:ident,$h:ident, $k:expr, $w:expr) => {{
+        let t1 = $h
+            .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+            .wrapping_add(($e & $f) ^ (!$e & $g))
+            .wrapping_add($k)
+            .wrapping_add($w);
+        let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+            .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+        $d = $d.wrapping_add(t1);
+        $h = t1.wrapping_add(t2);
+    }};
+}
+
+/// Compresses one 512-bit block into `state`. A free function (not a
+/// method) so `update` can compress `self.buf` without a borrow-splitting
+/// copy of the block.
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
     }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    let mut i = 0;
+    while i < 64 {
+        round!(a, b, c, d, e, f, g, h, K[i], w[i]);
+        round!(h, a, b, c, d, e, f, g, K[i + 1], w[i + 1]);
+        round!(g, h, a, b, c, d, e, f, K[i + 2], w[i + 2]);
+        round!(f, g, h, a, b, c, d, e, K[i + 3], w[i + 3]);
+        round!(e, f, g, h, a, b, c, d, K[i + 4], w[i + 4]);
+        round!(d, e, f, g, h, a, b, c, K[i + 5], w[i + 5]);
+        round!(c, d, e, f, g, h, a, b, K[i + 6], w[i + 6]);
+        round!(b, c, d, e, f, g, h, a, K[i + 7], w[i + 7]);
+        i += 8;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 /// One-shot SHA-256 of `data`.

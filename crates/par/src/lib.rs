@@ -14,14 +14,18 @@
 //!   backpressure, mirroring the crawl → download → analyze flow,
 //! * [`sharded::ShardedMap`] — a lock-striped hash map for concurrent
 //!   counting (the dedup index), with a single-lock variant used as the
-//!   ablation baseline in the benches.
+//!   ablation baseline in the benches,
+//! * [`scratch::Scratch`] — the thread-local per-worker buffer arena the
+//!   fused layer-analysis path reuses across layers.
 
 pub mod pipeline;
 pub mod pool;
+pub mod scratch;
 pub mod sharded;
 
 pub use pipeline::stage;
 pub use pool::ThreadPool;
+pub use scratch::{with_scratch, Scratch, ScratchStats};
 pub use sharded::ShardedMap;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,150 @@
+//! Per-worker scratch arena for the layer-analysis hot path.
+//!
+//! Decompressing a layer needs a buffer as large as its unpacked tar;
+//! allocating (and faulting in) a fresh one per layer dominates small-layer
+//! analysis cost. A [`Scratch`] owns that buffer and hands it out cleared
+//! but with capacity intact, so after a short warmup every layer a worker
+//! touches decompresses into already-hot memory.
+//!
+//! Ownership rules:
+//!
+//! * [`Scratch::tar_buf`] clears the buffer and returns it; the borrow
+//!   (and everything derived from it — `TarView` entries, file slices,
+//!   digest inputs) must end before the next `tar_buf` call. The borrow
+//!   checker enforces this; the fused analyze+ingest path threads the
+//!   scratch lifetime through its entry sink for exactly this reason.
+//! * Workers reach their arena through the thread-local [`with_scratch`];
+//!   a `Scratch` is never shared across threads.
+//! * [`ScratchStats`] counts acquires and capacity-growth events, which is
+//!   how tests assert the no-allocation-after-warmup property without a
+//!   global allocator hook.
+
+use std::cell::RefCell;
+
+/// Reuse statistics for one arena.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Times the buffer was handed out.
+    pub acquires: u64,
+    /// Times handing it out (or use since) found the capacity had to grow.
+    /// After warmup this stops moving while `acquires` keeps counting.
+    pub grows: u64,
+    /// Current buffer capacity in bytes.
+    pub capacity: usize,
+}
+
+/// Reusable per-worker buffers.
+#[derive(Default)]
+pub struct Scratch {
+    tar: Vec<u8>,
+    acquires: u64,
+    grows: u64,
+    /// Capacity observed at the last acquire; growth since then is charged
+    /// to `grows` lazily (the consumer grows the buffer after we hand it
+    /// out, so it can only be observed on the next call).
+    last_cap: usize,
+}
+
+impl Scratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Hands out the decompression buffer, cleared but with capacity kept.
+    #[allow(clippy::missing_panics_doc)]
+    pub fn tar_buf(&mut self) -> &mut Vec<u8> {
+        self.settle_growth();
+        self.acquires += 1;
+        self.tar.clear();
+        &mut self.tar
+    }
+
+    /// Length of the buffer contents as of the last use (the decompressed
+    /// tar size of the most recent layer).
+    pub fn tar_len(&self) -> usize {
+        self.tar.len()
+    }
+
+    /// Current reuse statistics.
+    pub fn stats(&self) -> ScratchStats {
+        ScratchStats {
+            acquires: self.acquires,
+            grows: self.grows + u64::from(self.tar.capacity() > self.last_cap),
+            capacity: self.tar.capacity(),
+        }
+    }
+
+    fn settle_growth(&mut self) {
+        if self.tar.capacity() > self.last_cap {
+            self.grows += 1;
+            self.last_cap = self.tar.capacity();
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Runs `f` with this thread's scratch arena.
+///
+/// Inside a [`par_map`](crate::par_map) worker the arena persists across
+/// every item the worker processes in that call (and, on the caller
+/// thread — e.g. `threads == 1` — across calls), which is what amortizes
+/// the decompression buffer over a whole batch of layers.
+pub fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_survives_acquires() {
+        let mut s = Scratch::new();
+        s.tar_buf().extend_from_slice(&[7u8; 10_000]);
+        let cap = s.stats().capacity;
+        assert!(cap >= 10_000);
+        for _ in 0..5 {
+            let b = s.tar_buf();
+            assert!(b.is_empty(), "buffer must come back cleared");
+            b.extend_from_slice(&[1u8; 8_000]);
+        }
+        assert_eq!(s.stats().capacity, cap, "no regrowth for smaller uses");
+        assert_eq!(s.stats().acquires, 6);
+    }
+
+    #[test]
+    fn grows_counts_growth_events_only() {
+        let mut s = Scratch::new();
+        s.tar_buf().extend_from_slice(&[0u8; 1000]);
+        assert_eq!(s.stats().grows, 1);
+        // Same-size reuse: warm.
+        s.tar_buf().extend_from_slice(&[0u8; 1000]);
+        assert_eq!(s.stats().grows, 1);
+        // Bigger use: one more growth event.
+        s.tar_buf().extend_from_slice(&[0u8; 50_000]);
+        assert_eq!(s.stats().grows, 2);
+        s.tar_buf().extend_from_slice(&[0u8; 40_000]);
+        assert_eq!(s.stats().grows, 2);
+    }
+
+    #[test]
+    fn tar_len_reports_last_use() {
+        let mut s = Scratch::new();
+        s.tar_buf().extend_from_slice(&[0u8; 123]);
+        assert_eq!(s.tar_len(), 123);
+    }
+
+    #[test]
+    fn thread_local_persists_on_same_thread() {
+        let cap0 = with_scratch(|s| {
+            s.tar_buf().extend_from_slice(&[0u8; 4096]);
+            s.stats().capacity
+        });
+        let cap1 = with_scratch(|s| s.stats().capacity);
+        assert_eq!(cap0, cap1);
+    }
+}

@@ -44,6 +44,10 @@ pub fn table1(data: &StudyData) -> FigureReport {
         format!("retry give-ups              : {}", data.download.gave_up),
         format!("files analyzed              : {total_files}"),
         format!(
+            "layer bytes analyzed        : {}",
+            data.layer_slice().iter().map(|l| l.cls).sum::<u64>()
+        ),
+        format!(
             "compressed bytes (paper-scale): {:.1} GB",
             data.download.bytes_fetched as f64 * data.size_scale as f64 / 1e9
         ),

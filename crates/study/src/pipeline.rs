@@ -69,39 +69,14 @@ fn set_dedup_ratio(obs: &MetricsRegistry, download: &DownloadReport) {
     }
 }
 
-/// [`run_study_with`], recording live metrics and per-stage spans into
-/// `obs`. The per-stage reports inside [`StudyData`] are derived from the
-/// `dhub_*` counters, so a `/metrics` scrape and the end-of-run table
-/// reconcile exactly.
-pub fn run_study_obs(
+/// Shared tail of every batch pipeline shape: aggregate image profiles,
+/// build the dedup view, collect pull counts, and assemble [`StudyData`].
+fn assemble_study(
     hub: &SyntheticHub,
-    threads: usize,
-    policy: &RetryPolicy,
-    obs: &MetricsRegistry,
+    crawl_result: dhub_crawler::CrawlResult,
+    dl: dhub_downloader::DownloadResult,
+    analysis: dhub_analyzer::AnalysisResult,
 ) -> StudyData {
-    // §III-A: crawl. The official list is public knowledge (the paper
-    // hardcodes the <200 official repositories).
-    let officials: Vec<RepoName> =
-        hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
-    let injector = hub.registry.fault_injector();
-    let crawl_result = {
-        let _stage = span!(obs, "crawl");
-        crawl_obs(&hub.search, &officials, injector.as_deref(), policy, obs)
-    };
-
-    // §III-B: download latest images, unique layers only.
-    let net = NetworkModel::wan();
-    let dl = {
-        let _stage = span!(obs, "download");
-        download_all_obs(&hub.registry, &crawl_result.repos, threads, &net, policy, obs)
-    };
-    set_dedup_ratio(obs, &dl.report);
-
-    // §III-C: analyze layers, then aggregate image profiles.
-    let analysis = {
-        let _stage = span!(obs, "analyze");
-        analyze_all_obs(&dl.layers, threads, obs)
-    };
     let inputs: Vec<ImageInput> = dl
         .images
         .iter()
@@ -136,6 +111,88 @@ pub fn run_study_obs(
         size_scale: hub.config.size_scale,
         seed: hub.config.seed,
     }
+}
+
+/// [`run_study_with`], recording live metrics and per-stage spans into
+/// `obs`. The per-stage reports inside [`StudyData`] are derived from the
+/// `dhub_*` counters, so a `/metrics` scrape and the end-of-run table
+/// reconcile exactly.
+pub fn run_study_obs(
+    hub: &SyntheticHub,
+    threads: usize,
+    policy: &RetryPolicy,
+    obs: &MetricsRegistry,
+) -> StudyData {
+    // §III-A: crawl. The official list is public knowledge (the paper
+    // hardcodes the <200 official repositories).
+    let officials: Vec<RepoName> =
+        hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
+    let injector = hub.registry.fault_injector();
+    let crawl_result = {
+        let _stage = span!(obs, "crawl");
+        crawl_obs(&hub.search, &officials, injector.as_deref(), policy, obs)
+    };
+
+    // §III-B: download latest images, unique layers only.
+    let net = NetworkModel::wan();
+    let dl = {
+        let _stage = span!(obs, "download");
+        download_all_obs(&hub.registry, &crawl_result.repos, threads, &net, policy, obs)
+    };
+    set_dedup_ratio(obs, &dl.report);
+
+    // §III-C: analyze layers, then aggregate image profiles.
+    let analysis = {
+        let _stage = span!(obs, "analyze");
+        analyze_all_obs(&dl.layers, threads, obs)
+    };
+    assemble_study(hub, crawl_result, dl, analysis)
+}
+
+/// [`run_study_obs`] with the analysis stage replaced by the fused
+/// analyze + ingest pass: every successfully downloaded layer is profiled
+/// *and* ingested into `store` in one decompression/hash sweep
+/// ([`dhub_dedupstore::analyze_and_ingest_all`]). The returned
+/// [`StudyData`] is identical to the plain pipeline's; the store fills as
+/// a side effect, with its `dhub_store_*` metrics on whatever registry it
+/// was bound to.
+pub fn run_study_store_obs(
+    hub: &SyntheticHub,
+    threads: usize,
+    policy: &RetryPolicy,
+    store: &dhub_dedupstore::DedupStore,
+    obs: &MetricsRegistry,
+) -> StudyData {
+    let officials: Vec<RepoName> =
+        hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
+    let injector = hub.registry.fault_injector();
+    let crawl_result = {
+        let _stage = span!(obs, "crawl");
+        crawl_obs(&hub.search, &officials, injector.as_deref(), policy, obs)
+    };
+
+    let net = NetworkModel::wan();
+    let dl = {
+        let _stage = span!(obs, "download");
+        download_all_obs(&hub.registry, &crawl_result.repos, threads, &net, policy, obs)
+    };
+    set_dedup_ratio(obs, &dl.report);
+
+    let fused = {
+        let _stage = span!(obs, "analyze");
+        dhub_dedupstore::analyze_and_ingest_all(&dl.layers, threads, store, obs)
+    };
+    assemble_study(hub, crawl_result, dl, fused.analysis)
+}
+
+/// [`run_study_store_obs`] with a default registry.
+pub fn run_study_store(
+    hub: &SyntheticHub,
+    threads: usize,
+    policy: &RetryPolicy,
+    store: &dhub_dedupstore::DedupStore,
+) -> StudyData {
+    run_study_store_obs(hub, threads, policy, store, &MetricsRegistry::new())
 }
 
 /// Runs the full pipeline with the download stage over the Registry V2
@@ -194,39 +251,7 @@ pub fn run_study_http_obs(
         let _stage = span!(obs, "analyze");
         analyze_all_obs(&dl.layers, threads, obs)
     };
-    let inputs: Vec<ImageInput> = dl
-        .images
-        .iter()
-        .map(|img| ImageInput {
-            repo: img.repo.clone(),
-            manifest_digest: img.manifest_digest,
-            layers: img.manifest.layers.iter().map(|l| (l.digest, l.size)).collect(),
-        })
-        .collect();
-    let images = image_profiles(&inputs, &analysis.layers);
-    let image_layers: Vec<ImageLayers> = dl
-        .images
-        .iter()
-        .map(|img| ImageLayers { layers: img.manifest.layers.iter().map(|l| l.digest).collect() })
-        .collect();
-
-    let pulls: Vec<(RepoName, u64)> = crawl_result
-        .repos
-        .iter()
-        .filter_map(|r| hub.registry.pull_count(r).map(|c| (r.clone(), c)))
-        .collect();
-
-    StudyData {
-        crawl: crawl_result.report,
-        download: dl.report,
-        layers: analysis.layers,
-        images,
-        image_layers,
-        pulls,
-        analyze_errors: analysis.errors.len(),
-        size_scale: hub.config.size_scale,
-        seed: hub.config.seed,
-    }
+    assemble_study(hub, crawl_result, dl, analysis)
 }
 
 /// Streaming variant of [`run_study`]: repositories flow through bounded
@@ -350,22 +375,25 @@ pub fn run_study_streaming_obs(
     });
 
     // Stage 2 (CPU-bound): analyze each image's newly fetched layers.
-    let an_layers = obs.counter("dhub_analyze_layers_total");
-    let an_files = obs.counter("dhub_analyze_files_total");
-    let an_errors = obs.counter("dhub_analyze_errors_total");
+    // Same counters and scratch-arena reuse as the batch path — each
+    // stage worker's thread-local arena persists across every layer it
+    // sees.
+    let an_counters = dhub_analyzer::AnalyzeCounters::on(obs);
     let an_rx = stage(dl_rx, threads.max(1), 16, move |(img, blobs): DlItem| {
         let profiles: Vec<(Digest, LayerProfile)> = blobs
             .into_iter()
-            .filter_map(|(d, blob)| match dhub_analyzer::analyze_layer(d, &blob) {
-                Ok(p) => {
-                    an_layers.inc();
-                    an_files.add(p.file_count);
-                    Some((d, p))
-                }
-                Err(_) => {
-                    an_errors.inc();
-                    None
-                }
+            .filter_map(|(d, blob)| {
+                let start = std::time::Instant::now();
+                let r = dhub_par::with_scratch(|scratch| {
+                    let r = dhub_analyzer::analyze_layer_scratch(d, &blob, scratch);
+                    match &r {
+                        Ok(p) => an_counters.record_ok(p, scratch.tar_len()),
+                        Err(_) => an_counters.record_err(),
+                    }
+                    r
+                });
+                an_counters.record_busy(start.elapsed());
+                r.ok().map(|p| (d, p))
             })
             .collect();
         Some((img, profiles))
@@ -535,6 +563,28 @@ mod tests {
             assert_eq!(streaming.layers.get(d), Some(p), "shared-layer corpus diverged");
         }
         assert_eq!(streaming.images, batch.images);
+    }
+
+    #[test]
+    fn store_study_matches_plain_study() {
+        let hub = generate_hub(&SynthConfig::tiny(23).with_repos(40));
+        let plain = run_study(&hub, 4);
+        let store = dhub_dedupstore::DedupStore::new();
+        let fused = run_study_store(&hub, 4, &RetryPolicy::default(), &store);
+        assert_eq!(fused.crawl, plain.crawl);
+        assert_eq!(fused.layers.len(), plain.layers.len());
+        for (d, p) in &plain.layers {
+            assert_eq!(fused.layers.get(d), Some(p), "fused profile diverged");
+        }
+        assert_eq!(fused.images, plain.images);
+        assert_eq!(fused.analyze_errors, plain.analyze_errors);
+        // The store holds exactly the analyzed unique layers.
+        assert_eq!(store.stats().layers, fused.layers.len());
+        assert!(store.stats().dedup_factor() >= 1.0);
+        // Every stored layer reconstructs.
+        for d in fused.layers.keys() {
+            assert!(store.reconstruct_tar(d).is_ok());
+        }
     }
 
     #[test]

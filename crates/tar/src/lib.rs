@@ -10,10 +10,12 @@
 
 mod header;
 mod reader;
+mod view;
 mod writer;
 
 pub use header::{EntryKind, TarEntry, TarError, BLOCK_SIZE};
 pub use reader::Reader;
+pub use view::{EntryView, EntryViewKind, TarView};
 pub use writer::Writer;
 
 /// Serializes `entries` into a complete tar archive in memory.

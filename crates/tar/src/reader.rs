@@ -1,101 +1,21 @@
-//! Tar archive reader.
+//! Tar archive reader (owned entries).
+//!
+//! All parsing lives in the zero-copy [`TarView`]; this reader is a thin
+//! wrapper that materializes each view into an owned [`TarEntry`], so the
+//! two iteration paths cannot disagree on format handling.
 
-use crate::header::{checksum, parse_octal, EntryKind, TarEntry, TarError, BLOCK_SIZE};
+use crate::header::{TarEntry, TarError};
+use crate::view::TarView;
 
 /// Iterator over the entries of an in-memory tar archive.
 pub struct Reader<'a> {
-    data: &'a [u8],
-    pos: usize,
-    /// Long name captured from a preceding GNU 'L' record.
-    pending_longname: Option<String>,
-    done: bool,
+    view: TarView<'a>,
 }
 
 impl<'a> Reader<'a> {
     /// Creates a reader over archive bytes.
     pub fn new(data: &'a [u8]) -> Self {
-        Reader { data, pos: 0, pending_longname: None, done: false }
-    }
-
-    fn take_block(&mut self) -> Result<&'a [u8], TarError> {
-        if self.pos + BLOCK_SIZE > self.data.len() {
-            return Err(TarError::Truncated);
-        }
-        let b = &self.data[self.pos..self.pos + BLOCK_SIZE];
-        self.pos += BLOCK_SIZE;
-        Ok(b)
-    }
-
-    fn next_entry(&mut self) -> Result<Option<TarEntry>, TarError> {
-        loop {
-            if self.done {
-                return Ok(None);
-            }
-            if self.pos >= self.data.len() {
-                // Tolerate archives missing the final zero blocks (some
-                // real-world docker layers are truncated like this).
-                self.done = true;
-                return Ok(None);
-            }
-            let block = self.take_block()?;
-            if block.iter().all(|&b| b == 0) {
-                // End marker (first of two zero blocks).
-                self.done = true;
-                return Ok(None);
-            }
-            let mut header = [0u8; BLOCK_SIZE];
-            header.copy_from_slice(block);
-            let want = parse_octal(&header[148..156])?;
-            if checksum(&header) as u64 != want {
-                return Err(TarError::BadChecksum);
-            }
-            let size = parse_octal(&header[124..136])? as usize;
-            let mode = parse_octal(&header[100..108])? as u32;
-            let uid = parse_octal(&header[108..116])? as u32;
-            let gid = parse_octal(&header[116..124])? as u32;
-            let mtime = parse_octal(&header[136..148])?;
-            let typeflag = header[156];
-
-            let payload_blocks = size.div_ceil(BLOCK_SIZE);
-            if self.pos + payload_blocks * BLOCK_SIZE > self.data.len() {
-                return Err(TarError::Truncated);
-            }
-            let payload = &self.data[self.pos..self.pos + size];
-            self.pos += payload_blocks * BLOCK_SIZE;
-
-            if typeflag == b'L' {
-                // GNU long name: payload is the real path (NUL-terminated).
-                let end = payload.iter().position(|&b| b == 0).unwrap_or(payload.len());
-                let name = std::str::from_utf8(&payload[..end]).map_err(|_| TarError::BadUtf8)?;
-                self.pending_longname = Some(name.to_string());
-                continue;
-            }
-
-            let path = match self.pending_longname.take() {
-                Some(p) => p,
-                None => {
-                    let name = c_string(&header[0..100])?;
-                    let prefix = c_string(&header[345..500])?;
-                    if prefix.is_empty() {
-                        name
-                    } else {
-                        format!("{prefix}/{name}")
-                    }
-                }
-            };
-
-            let kind = match typeflag {
-                b'0' | 0 | b'7' => EntryKind::File(payload.to_vec()),
-                b'5' => EntryKind::Dir,
-                b'2' => EntryKind::Symlink(c_string(&header[157..257])?),
-                b'1' => EntryKind::Hardlink(c_string(&header[157..257])?),
-                // PAX metadata records ('x'/'g') carry attributes we do not
-                // model; skip them (their payload was already consumed).
-                b'x' | b'g' => continue,
-                t => return Err(TarError::UnsupportedType(t)),
-            };
-            return Ok(Some(TarEntry { path, kind, mode, uid, gid, mtime }));
-        }
+        Reader { view: TarView::new(data) }
     }
 }
 
@@ -103,25 +23,14 @@ impl<'a> Iterator for Reader<'a> {
     type Item = Result<TarEntry, TarError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        match self.next_entry() {
-            Ok(Some(e)) => Some(Ok(e)),
-            Ok(None) => None,
-            Err(e) => {
-                self.done = true;
-                Some(Err(e))
-            }
-        }
+        self.view.next().map(|r| r.map(|e| e.to_entry()))
     }
-}
-
-fn c_string(field: &[u8]) -> Result<String, TarError> {
-    let end = field.iter().position(|&b| b == 0).unwrap_or(field.len());
-    std::str::from_utf8(&field[..end]).map(|s| s.to_string()).map_err(|_| TarError::BadUtf8)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::header::{checksum, BLOCK_SIZE};
     use crate::write_archive;
 
     #[test]

@@ -75,6 +75,7 @@ checks = {
     "dhub_download_corrupt_retries_total": "- digest-verify refetches",
     "dhub_download_gave_up_total": "retry give-ups",
     "dhub_analyze_files_total": "files analyzed",
+    "dhub_analyze_bytes_total": "layer bytes analyzed",
 }
 bad = []
 for counter, label in checks.items():
@@ -90,6 +91,42 @@ if bad:
 print(f"obs gate: {len(checks)} snapshot counters reconcile with Table 1")
 EOF
 rm -f "$OBS_SNAP" "$OBS_OUT"
+
+# Fused store gate: the single-pass analyze+ingest pipeline behind
+# `dhub store` must reconcile its own snapshot — every layer the analyzer
+# profiled is exactly one store ingest (downloads are digest-verified, so
+# no analysis errors; unique layers are analyzed once), and the printed
+# `layers` line is the same number again from the store's point of view.
+echo "==> store gate: fused analyze+ingest counters reconcile"
+STORE_SNAP=$(mktemp /tmp/dhub-store-snap.XXXXXX)
+STORE_OUT=$(mktemp /tmp/dhub-store-out.XXXXXX)
+./target/release/dhub store --repos 25 --seed 5 --scale 1024 --threads 2 \
+    --fault-rate 0.1 --fault-seed 7 --max-retries 16 \
+    --metrics-snapshot "$STORE_SNAP" > "$STORE_OUT"
+python3 - "$STORE_SNAP" "$STORE_OUT" <<'EOF'
+import json
+import re
+import sys
+
+snap = json.load(open(sys.argv[1]))
+out = open(sys.argv[2]).read()
+layers = int(re.search(r"layers\s*: (\d+)", out).group(1))
+c = snap["counters"]
+bad = []
+if c.get("dhub_store_ingests_total") != layers:
+    bad.append(f"dhub_store_ingests_total={c.get('dhub_store_ingests_total')} but printed layers={layers}")
+if c.get("dhub_analyze_layers_total") != layers:
+    bad.append(f"dhub_analyze_layers_total={c.get('dhub_analyze_layers_total')} but printed layers={layers}")
+if c.get("dhub_analyze_errors_total", 0) != 0:
+    bad.append(f"dhub_analyze_errors_total={c.get('dhub_analyze_errors_total')} on digest-verified blobs")
+if bad:
+    print("FAIL: fused store snapshot does not reconcile:", file=sys.stderr)
+    for b in bad:
+        print("  " + b, file=sys.stderr)
+    sys.exit(1)
+print(f"store gate: {layers} layers analyzed == ingested, zero analysis errors")
+EOF
+rm -f "$STORE_SNAP" "$STORE_OUT"
 
 # The obs bench must at least run (the full download comparison is the
 # recorded BENCH_obs.json; here we smoke the cheap primitives only).
@@ -108,6 +145,17 @@ echo "$MIRROR_CSV" | grep -q "^bench_ring_route_1k," \
     || { echo "FAIL: mirror bench CSV missing bench_ring_route_1k" >&2; exit 1; }
 echo "$MIRROR_CSV" | grep -q "^bench_cache_hot_hit," \
     || { echo "FAIL: mirror bench CSV missing bench_cache_hot_hit" >&2; exit 1; }
+
+# Analyze bench smoke: the hash kernels only (the fused-vs-reference
+# pipeline comparison is the recorded BENCH_analyze.json). Check the CSV
+# schema `name,median_ns,samples,threads` actually appears.
+echo "==> analyze bench smoke"
+ANALYZE_CSV=$(cargo bench --offline -p dhub-bench --bench analyze -- \
+    bench_sha256_1mib bench_crc32_1mib)
+echo "$ANALYZE_CSV" | grep -Eq "^bench_sha256_1mib,[0-9]+,[0-9]+,[0-9]+$" \
+    || { echo "FAIL: analyze bench CSV missing bench_sha256_1mib" >&2; exit 1; }
+echo "$ANALYZE_CSV" | grep -Eq "^bench_crc32_1mib,[0-9]+,[0-9]+,[0-9]+$" \
+    || { echo "FAIL: analyze bench CSV missing bench_crc32_1mib" >&2; exit 1; }
 
 echo "==> dependency audit"
 # No references to the removed external crates anywhere in crate sources.

@@ -160,6 +160,12 @@ fn assert_counters_match_reports(snap: &MetricsSnapshot, s: &StudyData) {
     assert_eq!(snap.counter("dhub_analyze_errors_total"), s.analyze_errors as u64);
     let total_files: u64 = s.layer_slice().iter().map(|l| l.file_count).sum();
     assert_eq!(snap.counter("dhub_analyze_files_total"), total_files);
+    let total_cls: u64 = s.layer_slice().iter().map(|l| l.cls).sum();
+    assert_eq!(
+        snap.counter("dhub_analyze_bytes_total"),
+        total_cls,
+        "analyze bytes counter must equal the profiles' summed compressed size"
+    );
 }
 
 #[test]
@@ -190,7 +196,17 @@ fn obs_counters_identical_across_worker_counts() {
     let b = run_study_obs(&faulted_hub(0.20), 8, &patient(), &obs8);
 
     let (sa, sb) = (obs2.snapshot(), obs8.snapshot());
-    assert_eq!(sa.counters, sb.counters, "counter totals diverged across worker counts");
+    // `dhub_analyze_busy_ns_total` is a wall-clock accumulator (analysis
+    // CPU-seconds), the one counter that is *supposed* to vary run to run;
+    // every event-count and byte-count counter must match exactly.
+    let drop_clock = |s: &dhub_obs::MetricsSnapshot| {
+        s.counters
+            .iter()
+            .filter(|(k, _)| !k.ends_with("_busy_ns_total"))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<std::collections::BTreeMap<_, _>>()
+    };
+    assert_eq!(drop_clock(&sa), drop_clock(&sb), "counter totals diverged across worker counts");
     assert_eq!(sa.span_id_xor, sb.span_id_xor, "span-id digest diverged across worker counts");
     assert_eq!(
         sa.spans.keys().collect::<Vec<_>>(),
@@ -206,6 +222,82 @@ fn obs_counters_identical_across_worker_counts() {
     }
     assert_counters_match_reports(&sa, &a);
     assert_counters_match_reports(&sb, &b);
+}
+
+// ---------------------------------------------------------------------------
+// Fused analyze+ingest chaos (DESIGN.md §6f): the store-filling pipeline
+// must deliver the exact dataset — and the exact store state — the
+// separate analyze-then-ingest paths produce, at every fault rate.
+
+#[test]
+fn fused_store_pipeline_matches_reference_at_every_fault_rate() {
+    use dhub_dedupstore::DedupStore;
+
+    let clean = run_study_with(&hub(), THREADS, &patient());
+    for rate in [0.0, 0.05, 0.20] {
+        let store = DedupStore::new();
+        let obs = MetricsRegistry::new();
+        let fused = dhub_study::pipeline::run_study_store_obs(
+            &faulted_hub(rate),
+            THREADS,
+            &patient(),
+            &store,
+            &obs,
+        );
+        // Dataset identical to the plain pipeline's fault-free run.
+        assert_same_dataset(&fused, &clean);
+        assert_counters_match_reports(&obs.snapshot(), &fused);
+
+        // Store state identical to a reference (slow-path) ingest of the
+        // same layers, fetched clean from an identical hub.
+        let reference = DedupStore::new();
+        let clean_hub = hub();
+        for d in fused.layers.keys() {
+            let blob = clean_hub.registry.get_blob(d).expect("analyzed layers exist in the hub");
+            reference.ingest_layer_reference(*d, &blob).unwrap();
+        }
+        assert_eq!(store.stats(), reference.stats(), "store stats diverged at rate {rate}");
+        assert_eq!(
+            store.stats().dedup_factor().to_bits(),
+            reference.stats().dedup_factor().to_bits(),
+            "dedup factor must be bit-identical at rate {rate}"
+        );
+        for d in fused.layers.keys() {
+            assert_eq!(
+                store.reconstruct_tar(d).unwrap(),
+                reference.reconstruct_tar(d).unwrap(),
+                "recipe reconstruction diverged at rate {rate}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_ingest_reuses_scratch_after_warmup() {
+    use dhub_dedupstore::{analyze_and_ingest_all, DedupStore};
+    use dhub_synth::layergen::build_app_layer;
+    use dhub_synth::pool::FilePool;
+
+    let pool = FilePool::build(&SynthConfig::tiny(3), 20_000);
+    let layers: Vec<_> = (0..16u64)
+        .map(|s| {
+            let l = build_app_layer(&pool, 0xF00D + s);
+            (l.digest, Arc::new(l.blob))
+        })
+        .collect();
+    let obs = MetricsRegistry::new();
+    // threads=1 runs inline on this thread, so its thread-local arena is
+    // observable. First batch warms the buffer up to the largest tar.
+    let store = DedupStore::new();
+    analyze_and_ingest_all(&layers, 1, &store, &obs);
+    let warm = dhub_par::with_scratch(|s| s.stats());
+    // Second batch into a fresh store: every layer reuses the warm buffer.
+    let store = DedupStore::new();
+    analyze_and_ingest_all(&layers, 1, &store, &obs);
+    let end = dhub_par::with_scratch(|s| s.stats());
+    assert_eq!(end.grows, warm.grows, "fused path allocated decompression buffers after warmup");
+    assert_eq!(end.acquires, warm.acquires + layers.len() as u64);
+    assert_eq!(end.capacity, warm.capacity);
 }
 
 #[test]
