@@ -1,0 +1,146 @@
+//! Benchmarks for the persistence tier (BENCH_persist.json): cold-reopen
+//! throughput (replaying recipes and digest-verifying every object back
+//! into memory) and warm-query latency against the columnar study tables,
+//! plus microbenches for the durable publish path itself.
+//!
+//! Cold reopen is the recovery path a crashed study pays before resuming;
+//! warm queries are what `dhub query` answers without a hub. Both are
+//! measured over a store ingested from the same app-layer corpus the
+//! analyze benches use, so the figures line up with BENCH_analyze.json.
+
+use dhub_bench::{criterion_group, criterion_main, Criterion, Throughput};
+use dhub_dedupstore::PersistentDedupStore;
+use dhub_par::Scratch;
+use dhub_persist::{ColType, Predicate, Publisher, Schema, Table, Value};
+use dhub_synth::layergen::{build_app_layer, BuiltLayer};
+use dhub_synth::pool::FilePool;
+use dhub_synth::SynthConfig;
+use std::path::PathBuf;
+
+fn corpus() -> Vec<BuiltLayer> {
+    let pool = FilePool::build(&SynthConfig::tiny(3), 20_000);
+    (0..32u64).map(|s| build_app_layer(&pool, 0xF00D + s)).collect()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dhub-bench-persist-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Ingests the corpus into a fresh durable store at `dir`, returning the
+/// compressed input volume.
+fn ingest_corpus(dir: &PathBuf, layers: &[BuiltLayer]) -> u64 {
+    let store = PersistentDedupStore::open(dir, Publisher::new()).unwrap();
+    let mut scratch = Scratch::new();
+    let mut bytes = 0u64;
+    for l in layers {
+        let (_profile, ingest) =
+            dhub_dedupstore::analyze_and_ingest_persistent(&store, l.digest, &l.blob, &mut scratch)
+                .unwrap();
+        ingest.unwrap();
+        bytes += l.blob.len() as u64;
+    }
+    store.checkpoint().unwrap();
+    bytes
+}
+
+/// Durable ingest (analyze + fsync'd object/recipe publishes) and the
+/// cold reopen that replays it all back, in compressed MiB/s.
+fn bench_store_lifecycle(c: &mut Criterion) {
+    let layers = corpus();
+    let mut g = c.benchmark_group("persist");
+    g.sample_size(10);
+
+    let ingest_dir = bench_dir("ingest");
+    g.throughput(Throughput::Bytes(layers.iter().map(|l| l.blob.len() as u64).sum()));
+    g.bench_function("bench_durable_ingest_32_layers", |b| {
+        b.iter(|| {
+            std::fs::remove_dir_all(&ingest_dir).ok();
+            std::hint::black_box(ingest_corpus(&ingest_dir, &layers))
+        })
+    });
+    std::fs::remove_dir_all(&ingest_dir).ok();
+
+    // Cold reopen: replay every recipe, digest-verify every object.
+    let reopen_dir = bench_dir("reopen");
+    let bytes = ingest_corpus(&reopen_dir, &layers);
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("bench_cold_reopen_32_layers", |b| {
+        b.iter(|| {
+            let store = PersistentDedupStore::open(&reopen_dir, Publisher::new()).unwrap();
+            std::hint::black_box(store.mem().stats().layers)
+        })
+    });
+    std::fs::remove_dir_all(&reopen_dir).ok();
+    g.finish();
+}
+
+/// A files-style table shaped like a small study's: 100k rows of
+/// (path, kind, size), saved and loaded through the crash-safe publish
+/// path, then scanned with predicate pushdown.
+fn files_table(rows: usize) -> Table {
+    let schema = Schema::new(&[("path", ColType::Str), ("kind", ColType::Str), ("size", ColType::U64)]);
+    let mut t = Table::new(schema);
+    let kinds = ["elf", "source", "doc", "archive", "image"];
+    for i in 0..rows {
+        t.push_row(vec![
+            Value::Str(format!("usr/lib/pkg-{}/file-{i}", i % 97)),
+            Value::Str(kinds[i % kinds.len()].to_string()),
+            Value::U64((i as u64 * 2654435761) % 1_000_000),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn bench_table_queries(c: &mut Criterion) {
+    const ROWS: usize = 100_000;
+    let table = files_table(ROWS);
+    let dir = bench_dir("tables");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("files.tbl");
+    let mut g = c.benchmark_group("persist");
+    g.throughput(Throughput::Elements(ROWS as u64));
+
+    g.sample_size(10);
+    g.bench_function("bench_table_save_100k_rows", |b| {
+        b.iter(|| {
+            table.save(&path, &Publisher::new()).unwrap();
+        })
+    });
+    g.bench_function("bench_table_load_100k_rows", |b| {
+        b.iter(|| {
+            let t = Table::load(&path).unwrap();
+            std::hint::black_box(t.len())
+        })
+    });
+
+    // Warm queries: the table stays in memory, `dhub query`-style scans.
+    g.sample_size(20);
+    g.bench_function("bench_scan_pushdown_streq_100k", |b| {
+        b.iter(|| {
+            let rows = table
+                .scan(&[Predicate::StrEq("kind".into(), "elf".into())])
+                .unwrap();
+            std::hint::black_box(rows.len())
+        })
+    });
+    g.bench_function("bench_scan_pushdown_range_100k", |b| {
+        b.iter(|| {
+            let rows = table
+                .scan(&[
+                    Predicate::U64Range("size".into(), 250_000, 750_000),
+                    Predicate::StrPrefix("path".into(), "usr/lib/pkg-1".into()),
+                ])
+                .unwrap();
+            std::hint::black_box(rows.len())
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(lifecycle, bench_store_lifecycle);
+criterion_group!(tables, bench_table_queries);
+criterion_main!(lifecycle, tables);

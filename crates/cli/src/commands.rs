@@ -32,6 +32,9 @@ COMMANDS:
   cache-sim                 replay a popularity trace against LRU/LFU/GDSF
   carve                     run perfect-layer carving over the hub
   store                     ingest the hub into the file-dedup store
+  query <dir> [question]    answer study questions from a persisted store
+                            (questions: summary | dedup | top-types |
+                            layer-percentiles)
 
 OPTIONS (all commands):
   --repos N                 repositories to generate   [default 120]
@@ -50,6 +53,15 @@ MIRROR MODE (serve):
                             instead of a local hub
   --cache-bytes N           mirror cache byte budget     [default 64 MiB]
   --cache-policy P          lru | lfu | gdsf             [default lru]
+
+PERSISTENCE (summary, store):
+  --store-dir DIR           open (or create) a crash-safe on-disk store at
+                            DIR, ingest into it durably, and write the
+                            queryable study tables under DIR/db. A partly
+                            filled store is resumed, not re-ingested.
+                            --fault-rate also injects crashes into these
+                            durable writes (torn/bit-flipped temp files),
+                            which are retried under --max-retries.
 
 OBSERVABILITY (report, summary, pull, tags, cache-sim, carve, store):
   --metrics                 print Prometheus-style exposition when done,
@@ -167,6 +179,71 @@ fn study_for_with(
     Ok((hub, data, obs))
 }
 
+/// Runs the study pipeline through the **durable** store at `store_dir`:
+/// opens (or resumes) the crash-safe store, ingests every layer through
+/// `dhub-persist`'s faultable publish path, then writes the queryable
+/// study tables under `<store_dir>/db`, checkpoints the refcount
+/// manifest, and sweeps crash orphans. The same `--fault-rate` injector
+/// that hits the registry also crashes durable writes (as a separate
+/// deterministic instance, so wire faults and write crashes replay
+/// independently).
+fn persistent_study_for(
+    args: &Parsed,
+    out: &mut impl Write,
+    store_dir: &str,
+) -> Result<
+    (dhub_study::pipeline::StudyData, dhub_dedupstore::StoreStats, Arc<MetricsRegistry>),
+    Box<dyn std::error::Error>,
+> {
+    use dhub_dedupstore::PersistentDedupStore;
+    use dhub_persist::{Publisher, WriteFaults};
+
+    let hub = hub_for(args, out)?;
+    let (injector, policy) = fault_setup(args)?;
+    if let Some(inj) = &injector {
+        let cfg = inj.plan().config();
+        writeln!(out, "fault injection: rate={} seed={} max-retries={}",
+            cfg.rate(dhub_faults::FaultOp::Manifest), cfg.seed, policy.max_retries)?;
+        hub.registry.set_fault_injector(Some(inj.clone()));
+    }
+    let obs = Arc::new(MetricsRegistry::new());
+    let reporter = progress_for(args, &obs);
+
+    // Durable writes share the fault flags but use their own injector
+    // instance: per-op attempt streams stay deterministic regardless of
+    // how registry traffic interleaves with disk writes.
+    let write_faults = injector.as_ref().map(|inj| WriteFaults {
+        injector: Arc::new(FaultInjector::new(inj.plan().config().clone())),
+        policy,
+    });
+    let publisher = Publisher::new().with_metrics(&obs).with_faults(write_faults);
+    let store = PersistentDedupStore::open_obs(store_dir, publisher.clone(), Some(&obs))?;
+    let resumed = store.mem().stats().layers;
+    if resumed > 0 {
+        writeln!(out, "resuming store with {resumed} layers already ingested")?;
+    }
+
+    let data =
+        dhub_study::pipeline::run_study_persist_obs(&hub, threads(args)?, &policy, &store, &obs);
+    if let Some(r) = reporter {
+        r.stop();
+    }
+    if let Some(inj) = &injector {
+        hub.registry.set_fault_injector(None);
+        writeln!(out, "faults fired: {}", inj.stats().total())?;
+    }
+
+    let db = dhub_study::db::StudyDb::build(&data, &store.mem().stats());
+    db.save(&std::path::Path::new(store_dir).join("db"), &publisher)?;
+    store.checkpoint()?;
+    let swept = store.gc()?;
+    if swept.objects + swept.tmp_files > 0 {
+        writeln!(out, "gc: {} orphan objects, {} temp files swept", swept.objects, swept.tmp_files)?;
+    }
+    let stats = store.mem().stats();
+    Ok((data, stats, obs))
+}
+
 /// Dispatches a parsed command. Returns a process exit code.
 pub fn run(args: &Parsed, out: &mut impl Write) -> i32 {
     let result = match args.command.as_str() {
@@ -183,6 +260,7 @@ pub fn run(args: &Parsed, out: &mut impl Write) -> i32 {
         "cache-sim" => cmd_cache_sim(args, out),
         "carve" => cmd_carve(args, out),
         "store" => cmd_store(args, out),
+        "query" => cmd_query(args, out),
         other => {
             let _ = writeln!(out, "unknown command {other:?}\n\n{USAGE}");
             return 2;
@@ -225,7 +303,14 @@ fn cmd_report(args: &Parsed, out: &mut impl Write) -> CmdResult {
 }
 
 fn cmd_summary(args: &Parsed, out: &mut impl Write) -> CmdResult {
-    let (_hub, data, obs) = study_for(args, out)?;
+    let store_dir = args.str("store-dir", "");
+    let (data, obs) = if store_dir.is_empty() {
+        let (_hub, data, obs) = study_for(args, out)?;
+        (data, obs)
+    } else {
+        let (data, _stats, obs) = persistent_study_for(args, out, &store_dir)?;
+        (data, obs)
+    };
     writeln!(out, "{}", figures::table1(&data).render())?;
     writeln!(out, "{}", figures::table2(&data).render())?;
     emit_metrics(args, &obs, out)
@@ -382,20 +467,73 @@ fn cmd_store(args: &Parsed, out: &mut impl Write) -> CmdResult {
     // single decompression/hash pass — the store fills during the study
     // instead of re-reading every blob afterwards. Downloaded blobs are
     // digest-verified, so fault injection never skews the dedup stats.
-    let mut store_slot: Option<DedupStore> = None;
-    let (_hub, _data, obs) = study_for_with(args, out, |hub, threads, policy, obs| {
-        let store = DedupStore::with_metrics(obs);
-        let data = dhub_study::pipeline::run_study_store_obs(hub, threads, policy, &store, obs);
-        store_slot = Some(store);
-        data
-    })?;
-    let st = store_slot.expect("runner always fills the slot").stats();
+    let store_dir = args.str("store-dir", "");
+    let (st, obs) = if store_dir.is_empty() {
+        let mut store_slot: Option<DedupStore> = None;
+        let (_hub, _data, obs) = study_for_with(args, out, |hub, threads, policy, obs| {
+            let store = DedupStore::with_metrics(obs);
+            let data = dhub_study::pipeline::run_study_store_obs(hub, threads, policy, &store, obs);
+            store_slot = Some(store);
+            data
+        })?;
+        (store_slot.expect("runner always fills the slot").stats(), obs)
+    } else {
+        // Durable mode: same fused pipeline, but every object and layer
+        // recipe survives the process in <store-dir>, with the queryable
+        // study tables under <store-dir>/db (see `dhub query`).
+        let (_data, stats, obs) = persistent_study_for(args, out, &store_dir)?;
+        writeln!(out, "store dir       : {store_dir}")?;
+        (stats, obs)
+    };
     writeln!(out, "layers          : {}", st.layers)?;
     writeln!(out, "unique objects  : {}", st.unique_objects)?;
     writeln!(out, "logical bytes   : {}", st.logical_bytes)?;
     writeln!(out, "physical bytes  : {}", st.physical_bytes)?;
     writeln!(out, "dedup factor    : {:.2}x", st.dedup_factor())?;
     emit_metrics(args, &obs, out)
+}
+
+/// Answers Table-1-style questions from a persisted store's study
+/// database — no hub generation, no re-analysis, just `<dir>/db` reads.
+fn cmd_query(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    use dhub_study::db::StudyDb;
+    let dir = args
+        .pos(0)
+        .ok_or("usage: dhub query <store-dir> [summary|dedup|top-types|layer-percentiles]")?;
+    let question = args.pos(1).unwrap_or("summary");
+    let db = StudyDb::load(&std::path::Path::new(dir).join("db"))?;
+    match question {
+        "summary" => {
+            for row in db.summary() {
+                writeln!(out, "{row}")?;
+            }
+        }
+        "dedup" => {
+            for row in db.dedup_summary() {
+                writeln!(out, "{row}")?;
+            }
+        }
+        "top-types" => {
+            let n = args.num("top", 10usize)?;
+            writeln!(out, "{:<12} {:>10} {:>14}", "type", "files", "bytes")?;
+            for (label, count, bytes) in db.top_file_types(n) {
+                writeln!(out, "{label:<12} {count:>10} {bytes:>14}")?;
+            }
+        }
+        "layer-percentiles" => {
+            writeln!(out, "{:<4} {:>14}", "pct", "layer bytes")?;
+            for (p, v) in db.layer_size_percentiles() {
+                writeln!(out, "{p:<4} {v:>14}")?;
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown question {other:?} (try summary, dedup, top-types, layer-percentiles)"
+            )
+            .into())
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -573,5 +711,106 @@ mod tests {
         let (code, out) = run_cmd(&["generate", "--repos", "banana"]);
         assert_eq!(code, 1);
         assert!(out.contains("cannot parse"), "{out}");
+    }
+
+    /// The last five lines of `dhub store` — the dedup stats block.
+    fn stat_lines(s: &str) -> Vec<String> {
+        s.lines().rev().take(5).map(String::from).collect()
+    }
+
+    #[test]
+    fn store_dir_persists_matches_memory_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("dhub-cli-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let base = ["store", "--repos", "20", "--seed", "5", "--scale", "1024", "--threads", "2"];
+        let (code, mem) = run_cmd(&base);
+        assert_eq!(code, 0, "{mem}");
+
+        let mut argv = base.to_vec();
+        argv.extend(["--store-dir", dir.to_str().unwrap()]);
+        let (code, durable) = run_cmd(&argv);
+        assert_eq!(code, 0, "{durable}");
+        assert_eq!(stat_lines(&durable), stat_lines(&mem), "durable stats diverged from memory");
+
+        // A second run over the same hub resumes the store instead of
+        // re-ingesting, and lands on identical stats.
+        let (code, resumed) = run_cmd(&argv);
+        assert_eq!(code, 0, "{resumed}");
+        assert!(resumed.contains("resuming store with"), "{resumed}");
+        assert_eq!(stat_lines(&resumed), stat_lines(&mem));
+
+        // The persisted database answers without a hub: the dedup factor
+        // line printed by `store` appears verbatim in `query dedup`.
+        let (code, q) = run_cmd(&["query", dir.to_str().unwrap(), "dedup"]);
+        assert_eq!(code, 0, "{q}");
+        let parse_factor = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("dedup factor"))
+                .and_then(|l| l.rsplit(':').next())
+                .and_then(|v| v.trim().trim_end_matches('x').parse().ok())
+                .unwrap_or_else(|| panic!("no dedup factor line in {s:?}"))
+        };
+        let printed = parse_factor(&mem);
+        let queried = parse_factor(&q);
+        assert!((printed - queried).abs() < 0.005, "store {printed} vs query {queried}");
+
+        let (code, q) = run_cmd(&["query", dir.to_str().unwrap(), "top-types"]);
+        assert_eq!(code, 0, "{q}");
+        assert!(q.lines().count() > 2, "{q}");
+        let (code, q) = run_cmd(&["query", dir.to_str().unwrap(), "layer-percentiles"]);
+        assert_eq!(code, 0, "{q}");
+        assert!(q.contains("p50"), "{q}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_dir_under_faults_matches_clean_run() {
+        let pid = std::process::id();
+        let clean_dir = std::env::temp_dir().join(format!("dhub-cli-pclean-{pid}"));
+        let fault_dir = std::env::temp_dir().join(format!("dhub-cli-pfault-{pid}"));
+        std::fs::remove_dir_all(&clean_dir).ok();
+        std::fs::remove_dir_all(&fault_dir).ok();
+        let base = ["store", "--repos", "20", "--seed", "5", "--scale", "1024", "--threads", "2"];
+        let mut argv = base.to_vec();
+        argv.extend(["--store-dir", clean_dir.to_str().unwrap()]);
+        let (code, clean) = run_cmd(&argv);
+        assert_eq!(code, 0, "{clean}");
+        let mut argv = base.to_vec();
+        argv.extend([
+            "--store-dir", fault_dir.to_str().unwrap(),
+            "--fault-rate", "0.2", "--fault-seed", "7", "--max-retries", "16",
+        ]);
+        let (code, faulty) = run_cmd(&argv);
+        assert_eq!(code, 0, "{faulty}");
+        assert_eq!(stat_lines(&faulty), stat_lines(&clean), "stats diverged under write faults");
+        // The two stores answer queries identically, byte for byte.
+        let (c1, q1) = run_cmd(&["query", clean_dir.to_str().unwrap(), "summary"]);
+        let (c2, q2) = run_cmd(&["query", fault_dir.to_str().unwrap(), "summary"]);
+        assert_eq!((c1, c2), (0, 0), "{q1}\n{q2}");
+        assert_eq!(q1, q2, "query output diverged under write faults");
+        std::fs::remove_dir_all(&clean_dir).ok();
+        std::fs::remove_dir_all(&fault_dir).ok();
+    }
+
+    #[test]
+    fn query_missing_store_fails_cleanly() {
+        let (code, out) = run_cmd(&["query", "/nonexistent/dhub-store"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn query_unknown_question_fails_cleanly() {
+        let dir = std::env::temp_dir().join(format!("dhub-cli-qbad-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (code, out) = run_cmd(&[
+            "store", "--repos", "10", "--seed", "3", "--scale", "1024", "--threads", "2",
+            "--store-dir", dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&["query", dir.to_str().unwrap(), "flavor"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown question"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

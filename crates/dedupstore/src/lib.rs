@@ -15,12 +15,21 @@
 //!   refcounting, layer deletion with garbage collection, and savings
 //!   accounting,
 //! * [`fused`] — single-pass analyze + ingest sharing one decompression
-//!   and one content hash per file with the profiler.
+//!   and one content hash per file with the profiler,
+//! * [`persistent`] — the same store backed by `dhub-persist`'s
+//!   crash-safe on-disk layout (objects + recipe envelopes + refcount
+//!   manifest), so ingest output survives the process and can be
+//!   reopened, resumed, and garbage-collected.
 
 pub mod fused;
+pub mod persistent;
 pub mod recipe;
 pub mod store;
 
 pub use fused::{analyze_and_ingest, analyze_and_ingest_all, FusedResult};
+pub use persistent::{
+    analyze_and_ingest_all_persistent, analyze_and_ingest_persistent, PersistentDedupStore,
+    PersistentError, PersistentFusedResult,
+};
 pub use recipe::{EntryMeta, LayerRecipe, RecipeEntryKind};
 pub use store::{DedupStore, IngestStats, PendingEntry, StoreError, StoreStats};

@@ -1,0 +1,609 @@
+//! The durable dedup store: the in-memory [`DedupStore`] backed by a
+//! crash-safe on-disk layout, so `analyze_and_ingest` output survives the
+//! process and can be reopened, resumed, and queried later.
+//!
+//! On-disk layout under the store root:
+//!
+//! ```text
+//! objects/ab/<hex>        content-addressed file objects (dhub-persist BlobStore)
+//! layers/ab/<hex>.json    one recipe envelope per ingested layer
+//! manifest.json           checkpointed refcount manifest (cache, not truth)
+//! ```
+//!
+//! **Write ordering** makes every crash recoverable without a journal: a
+//! layer commit publishes (1) any new file objects, then (2) the recipe
+//! envelope, then (3) updates the in-memory store. Each publish is
+//! atomic (temp + fsync + rename + parent fsync), so a crash anywhere
+//! leaves either orphan objects with no recipe — garbage, collected by
+//! [`PersistentDedupStore::gc`] — or a complete recipe whose objects are
+//! all already durable. A recipe can never reference bytes that were not
+//! published first.
+//!
+//! **Reopen** replays the recipe files (sorted by digest, so
+//! deterministic) through the same [`DedupStore::commit_parsed`] path a
+//! live ingest uses. Every aggregate the store reports is an
+//! order-independent sum, so a reloaded store's stats — including the
+//! float `dedup_factor()` — are bit-identical to the single-process run
+//! that wrote it.
+//!
+//! The manifest is a checkpoint of derived state (refcounts + stats),
+//! fingerprinted against the layer set it summarized. A stale, torn, or
+//! missing manifest is simply ignored: recipes are authoritative.
+
+use crate::recipe::LayerRecipe;
+use crate::store::{DedupStore, IngestStats, PendingEntry, StoreError};
+use dhub_analyzer::{analyze_layer_with, AnalyzeError};
+use dhub_digest::{FxHashMap, FxHashSet};
+use dhub_json::Json;
+use dhub_model::{Digest, LayerProfile};
+use dhub_obs::MetricsRegistry;
+use dhub_par::Scratch;
+use dhub_persist::{fsync_dir, hex_of, BlobStore, GcStats, PersistError, Publisher, RefManifest};
+use dhub_persist::manifest::ManifestStats;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Errors from the persistent store: either a logical store error (same
+/// domain as the in-memory store) or a durability-tier failure.
+#[derive(Debug)]
+pub enum PersistentError {
+    Store(StoreError),
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for PersistentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistentError::Store(e) => write!(f, "{e}"),
+            PersistentError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistentError {}
+
+impl From<StoreError> for PersistentError {
+    fn from(e: StoreError) -> Self {
+        PersistentError::Store(e)
+    }
+}
+
+impl From<PersistError> for PersistentError {
+    fn from(e: PersistError) -> Self {
+        PersistentError::Persist(e)
+    }
+}
+
+/// A [`DedupStore`] whose objects and recipes live on disk.
+pub struct PersistentDedupStore {
+    mem: DedupStore,
+    objects: BlobStore,
+    layers_dir: PathBuf,
+    manifest_path: PathBuf,
+    publisher: Publisher,
+}
+
+impl PersistentDedupStore {
+    /// Opens (creating if needed) a store rooted at `root` and replays any
+    /// recipes already on disk into memory. All durable writes go through
+    /// `publisher` (which may carry fault injection and metrics).
+    pub fn open(root: impl AsRef<Path>, publisher: Publisher) -> Result<Self, PersistentError> {
+        Self::open_obs(root, publisher, None)
+    }
+
+    /// [`PersistentDedupStore::open`] with the in-memory store's
+    /// `dhub_store_*` metrics (and the blob store's `dhub_persist_*`
+    /// metrics) bound to `reg`.
+    pub fn open_obs(
+        root: impl AsRef<Path>,
+        publisher: Publisher,
+        reg: Option<&MetricsRegistry>,
+    ) -> Result<Self, PersistentError> {
+        let root = root.as_ref().to_path_buf();
+        let layers_dir = root.join("layers");
+        std::fs::create_dir_all(&layers_dir).map_err(PersistError::from)?;
+        let mut objects = BlobStore::open(root.join("objects"), publisher.clone())?;
+        let mem = match reg {
+            Some(reg) => {
+                objects = objects.with_metrics(reg);
+                DedupStore::with_metrics(reg)
+            }
+            None => DedupStore::new(),
+        };
+        let store = PersistentDedupStore {
+            mem,
+            objects,
+            layers_dir,
+            manifest_path: root.join("manifest.json"),
+            publisher,
+        };
+        store.replay()?;
+        Ok(store)
+    }
+
+    /// The in-memory store (stats, reconstruction, recipes — everything
+    /// that does not touch disk).
+    pub fn mem(&self) -> &DedupStore {
+        &self.mem
+    }
+
+    /// The underlying object store.
+    pub fn objects(&self) -> &BlobStore {
+        &self.objects
+    }
+
+    fn recipe_path(&self, layer_digest: &Digest) -> PathBuf {
+        let hex = hex_of(layer_digest);
+        self.layers_dir.join(&hex[..2]).join(format!("{hex}.json"))
+    }
+
+    /// Serializes a recipe envelope: the recipe JSON plus the compressed
+    /// blob length (needed to rebuild the conventional-bytes counter) and
+    /// a checksum over the recipe text so tampering behind the store's
+    /// back is caught on replay.
+    fn envelope(recipe: &LayerRecipe, blob_len: u64) -> String {
+        let recipe_text = recipe.to_json();
+        let mut root = Json::obj();
+        root.set("schema", "dhub-persist-recipe-v1");
+        root.set("blobLen", blob_len);
+        root.set("checksum", Digest::of(recipe_text.as_bytes()).to_docker_string());
+        root.set("recipe", dhub_json::parse(&recipe_text).expect("own serialization parses"));
+        root.to_string()
+    }
+
+    fn parse_envelope(text: &str) -> Option<(LayerRecipe, u64)> {
+        let j = dhub_json::parse(text).ok()?;
+        if j.get("schema")?.as_str()? != "dhub-persist-recipe-v1" {
+            return None;
+        }
+        let blob_len = j.get("blobLen")?.as_u64()?;
+        let recipe_text = j.get("recipe")?.to_string();
+        if Digest::parse(j.get("checksum")?.as_str()?)? != Digest::of(recipe_text.as_bytes()) {
+            return None;
+        }
+        Some((LayerRecipe::from_json(&recipe_text)?, blob_len))
+    }
+
+    /// Replays every recipe on disk through the normal commit path.
+    fn replay(&self) -> Result<(), PersistentError> {
+        let mut recipe_files: Vec<PathBuf> = Vec::new();
+        for shard in std::fs::read_dir(&self.layers_dir).map_err(PersistError::from)? {
+            let shard = shard.map_err(PersistError::from)?;
+            if !shard.file_type().map_err(PersistError::from)?.is_dir() {
+                continue;
+            }
+            for f in std::fs::read_dir(shard.path()).map_err(PersistError::from)? {
+                let path = f.map_err(PersistError::from)?.path();
+                // In-flight temp files are crash debris, not recipes.
+                if path.extension().map(|e| e == "json").unwrap_or(false) {
+                    recipe_files.push(path);
+                }
+            }
+        }
+        recipe_files.sort();
+        for path in recipe_files {
+            let text = std::fs::read_to_string(&path).map_err(PersistError::from)?;
+            let (recipe, blob_len) = Self::parse_envelope(&text)
+                .ok_or_else(|| PersistError::Torn(path.clone()))?;
+            // Fetch each referenced object once; reads are digest-verified,
+            // so torn or flipped bytes surface as Corrupt, never as data.
+            let mut contents: FxHashMap<Digest, Vec<u8>> = FxHashMap::default();
+            for d in recipe.file_digests() {
+                if contents.contains_key(&d) {
+                    continue;
+                }
+                let data = self
+                    .objects
+                    .get(&d)?
+                    .ok_or(PersistentError::Store(StoreError::MissingObject(d)))?;
+                contents.insert(d, data);
+            }
+            let pending: Vec<PendingEntry<'_>> = recipe
+                .entries
+                .iter()
+                .map(|meta| {
+                    let file = match &meta.kind {
+                        crate::recipe::RecipeEntryKind::File(d) => {
+                            Some((*d, contents[d].as_slice()))
+                        }
+                        _ => None,
+                    };
+                    PendingEntry { meta: meta.clone(), file }
+                })
+                .collect();
+            self.mem.commit_parsed(recipe.layer_digest, blob_len, pending)?;
+        }
+        Ok(())
+    }
+
+    /// True when a layer with this digest is already ingested (fast,
+    /// memory only — disk state mirrors it).
+    pub fn contains_layer(&self, layer_digest: &Digest) -> bool {
+        self.mem.contains_layer(layer_digest)
+    }
+
+    /// Commits a layer from already-parsed entries, durably. Publishes
+    /// new objects first, then the recipe envelope, then updates memory —
+    /// see the module docs for why this ordering makes crashes safe.
+    pub fn commit_parsed(
+        &self,
+        layer_digest: Digest,
+        blob_len: u64,
+        pending: Vec<PendingEntry<'_>>,
+    ) -> Result<IngestStats, PersistentError> {
+        if self.mem.contains_layer(&layer_digest) {
+            return Err(StoreError::AlreadyIngested.into());
+        }
+        for p in &pending {
+            if let Some((digest, data)) = &p.file {
+                if !self.mem.has_object(digest) {
+                    self.objects.put_at(digest, data)?;
+                }
+            }
+        }
+        let recipe = LayerRecipe {
+            layer_digest,
+            entries: pending.iter().map(|p| p.meta.clone()).collect(),
+        };
+        let path = self.recipe_path(&layer_digest);
+        let shard = path.parent().expect("recipe path has a shard dir");
+        std::fs::create_dir_all(shard).map_err(PersistError::from)?;
+        fsync_dir(&self.layers_dir).map_err(PersistError::from)?;
+        self.publisher.publish(&path, Self::envelope(&recipe, blob_len).as_bytes())?;
+        Ok(self.mem.commit_parsed(layer_digest, blob_len, pending)?)
+    }
+
+    /// Ingests a gzip-compressed layer tarball durably (decompress + walk
+    /// + hash, then [`PersistentDedupStore::commit_parsed`]).
+    pub fn ingest_layer(
+        &self,
+        layer_digest: Digest,
+        blob: &[u8],
+    ) -> Result<IngestStats, PersistentError> {
+        if self.mem.contains_layer(&layer_digest) {
+            return Err(StoreError::AlreadyIngested.into());
+        }
+        dhub_par::with_scratch(|scratch| {
+            let mut pending = Vec::new();
+            analyze_layer_with(layer_digest, blob, scratch, |entry, file| {
+                pending.push(PendingEntry::from_view(entry, file));
+            })
+            .map_err(|e| StoreError::BadLayer(e.to_string()))?;
+            self.commit_parsed(layer_digest, blob.len() as u64, pending)
+        })
+    }
+
+    /// Writes the refcount manifest checkpoint.
+    pub fn checkpoint(&self) -> Result<(), PersistentError> {
+        let stats = self.mem.stats();
+        let mut m = RefManifest {
+            stats: ManifestStats {
+                layers: stats.layers as u64,
+                unique_objects: stats.unique_objects as u64,
+                physical_bytes: stats.physical_bytes,
+                logical_bytes: stats.logical_bytes,
+                conventional_bytes: stats.conventional_bytes,
+            },
+            refcounts: self.mem.object_refcounts(),
+            layers: self.mem.layer_digests(),
+        };
+        m.normalize();
+        m.save(&self.manifest_path, &self.publisher)?;
+        Ok(())
+    }
+
+    /// Whether the on-disk manifest exists, parses, and matches the live
+    /// state (fingerprint over the layer set plus the stats snapshot).
+    pub fn manifest_is_current(&self) -> bool {
+        let Ok(Some(m)) = RefManifest::load(&self.manifest_path) else {
+            return false;
+        };
+        let mut layers = self.mem.layer_digests();
+        layers.sort_by_key(hex_of);
+        let stats = self.mem.stats();
+        m.layers == layers
+            && m.stats.layers == stats.layers as u64
+            && m.stats.physical_bytes == stats.physical_bytes
+            && m.stats.logical_bytes == stats.logical_bytes
+            && m.stats.conventional_bytes == stats.conventional_bytes
+    }
+
+    /// Garbage-collects objects no recipe references (crash orphans,
+    /// deleted layers) and sweeps in-flight temp debris.
+    pub fn gc(&self) -> Result<GcStats, PersistentError> {
+        let mut live: FxHashSet<Digest> = FxHashSet::default();
+        for d in self.mem.layer_digests() {
+            if let Some(r) = self.mem.recipe(&d) {
+                live.extend(r.file_digests());
+            }
+        }
+        Ok(self.objects.gc(&live)?)
+    }
+
+    /// Removes a layer durably: deletes the recipe file, then mirrors the
+    /// removal (refcount decrements + GC) in memory and on disk.
+    pub fn remove_layer(&self, layer_digest: &Digest) -> Result<u64, PersistentError> {
+        let path = self.recipe_path(layer_digest);
+        if !self.mem.contains_layer(layer_digest) {
+            return Err(StoreError::UnknownLayer.into());
+        }
+        std::fs::remove_file(&path).map_err(PersistError::from)?;
+        let reclaimed = self.mem.remove_layer(layer_digest)?;
+        self.gc()?;
+        Ok(reclaimed)
+    }
+}
+
+/// Analyzes one layer and ingests it durably in a single pass — the
+/// persistent mirror of [`crate::analyze_and_ingest`]: same outer/inner
+/// result split (analysis failure stores nothing; a duplicate layer still
+/// yields its profile).
+pub fn analyze_and_ingest_persistent(
+    store: &PersistentDedupStore,
+    digest: Digest,
+    blob: &[u8],
+    scratch: &mut Scratch,
+) -> Result<(LayerProfile, Result<IngestStats, PersistentError>), AnalyzeError> {
+    let mut pending = Vec::new();
+    let profile = analyze_layer_with(digest, blob, scratch, |entry, file| {
+        pending.push(PendingEntry::from_view(entry, file));
+    })?;
+    let ingest = store.commit_parsed(digest, blob.len() as u64, pending);
+    Ok((profile, ingest))
+}
+
+/// Outcome of a persistent fused batch run.
+pub struct PersistentFusedResult {
+    pub analysis: dhub_analyzer::AnalysisResult,
+    /// Per-layer ingest outcomes for layers that analyzed cleanly, in
+    /// input order.
+    pub ingests: Vec<(Digest, Result<IngestStats, PersistentError>)>,
+}
+
+/// Analyzes all layers in parallel, ingesting each durably — the
+/// persistent mirror of [`crate::analyze_and_ingest_all`].
+pub fn analyze_and_ingest_all_persistent(
+    layers: &[(Digest, Arc<Vec<u8>>)],
+    threads: usize,
+    store: &PersistentDedupStore,
+    obs: &MetricsRegistry,
+) -> PersistentFusedResult {
+    let counters = dhub_analyzer::AnalyzeCounters::on(obs);
+    let results = dhub_par::par_map(threads, layers, |(digest, blob)| {
+        let start = std::time::Instant::now();
+        let r = dhub_par::with_scratch(|scratch| {
+            let r = analyze_and_ingest_persistent(store, *digest, blob, scratch);
+            match &r {
+                Ok((p, _)) => counters.record_ok(p, scratch.tar_len()),
+                Err(_) => counters.record_err(),
+            }
+            r
+        });
+        counters.record_busy(start.elapsed());
+        (*digest, r)
+    });
+    let mut map = FxHashMap::default();
+    let mut errors = Vec::new();
+    let mut ingests = Vec::new();
+    for (digest, r) in results {
+        match r {
+            Ok((profile, ingest)) => {
+                map.insert(digest, profile);
+                ingests.push((digest, ingest));
+            }
+            Err(e) => errors.push((digest, e)),
+        }
+    }
+    PersistentFusedResult {
+        analysis: dhub_analyzer::AnalysisResult { layers: map, errors },
+        ingests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_compress::{gzip_compress, CompressOptions};
+    use dhub_tar::TarEntry;
+
+    fn layer(entries: &[TarEntry]) -> (Digest, Vec<u8>) {
+        let tar = dhub_tar::write_archive(entries);
+        let blob = gzip_compress(&tar, &CompressOptions::fast());
+        (Digest::of(&blob), blob)
+    }
+
+    fn file(path: &str, data: &[u8]) -> TarEntry {
+        TarEntry::file(path, data.to_vec())
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dhub-pstore-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_layers() -> Vec<(Digest, Vec<u8>)> {
+        let shared = b"the shared library bytes".as_slice();
+        vec![
+            layer(&[
+                TarEntry::dir("usr/"),
+                file("usr/lib/libx.so", shared),
+                file("etc/one", b"one"),
+                TarEntry::symlink("usr/l", "lib"),
+            ]),
+            layer(&[file("opt/lib/libx.so", shared), file("etc/two", b"two")]),
+            layer(&[file("var/empty", b""), TarEntry::hardlink("var/h", "var/empty")]),
+        ]
+    }
+
+    #[test]
+    fn reopened_store_matches_fresh_run_bit_for_bit() {
+        let root = tmp_root("reopen");
+        let reference = DedupStore::new();
+        {
+            let store = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+            for (d, b) in &sample_layers() {
+                let sp = store.ingest_layer(*d, b).unwrap();
+                let sm = reference.ingest_layer(*d, b).unwrap();
+                assert_eq!(sp, sm, "persistent ingest must report identical stats");
+            }
+            store.checkpoint().unwrap();
+        }
+        let reopened = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+        assert_eq!(reopened.mem().stats(), reference.stats());
+        assert_eq!(
+            reopened.mem().stats().dedup_factor().to_bits(),
+            reference.stats().dedup_factor().to_bits(),
+            "dedup factor must be bit-identical after reload"
+        );
+        for (d, _) in &sample_layers() {
+            assert_eq!(
+                reopened.mem().reconstruct_tar(d).unwrap(),
+                reference.reconstruct_tar(d).unwrap(),
+                "reloaded recipes must reconstruct byte-identically"
+            );
+        }
+        assert!(reopened.manifest_is_current());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn resume_skips_already_ingested_layers() {
+        let root = tmp_root("resume");
+        let layers = sample_layers();
+        {
+            let store = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+            store.ingest_layer(layers[0].0, &layers[0].1).unwrap();
+        }
+        let store = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+        assert!(store.contains_layer(&layers[0].0));
+        assert!(matches!(
+            store.ingest_layer(layers[0].0, &layers[0].1),
+            Err(PersistentError::Store(StoreError::AlreadyIngested))
+        ));
+        for (d, b) in &layers[1..] {
+            store.ingest_layer(*d, b).unwrap();
+        }
+        assert_eq!(store.mem().stats().layers, 3);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn orphan_objects_from_partial_commit_are_gced() {
+        let root = tmp_root("orphan");
+        let store = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+        let (d, b) = sample_layers()[0].clone();
+        store.ingest_layer(d, &b).unwrap();
+        // Simulate a crash between object publish and recipe publish:
+        // objects on disk, no recipe referencing them.
+        let orphan = store.objects().put(b"orphaned by a crash").unwrap();
+        let live_before = store.mem().stats().unique_objects;
+        let swept = store.gc().unwrap();
+        assert_eq!(swept.objects, 1, "exactly the orphan is collected");
+        assert!(!store.objects().contains(&orphan));
+        // Reopen: referenced objects all still present.
+        drop(store);
+        let reopened = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+        assert_eq!(reopened.mem().stats().unique_objects, live_before);
+        assert_eq!(reopened.mem().reconstruct_tar(&d).unwrap().len() % 512, 0);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn faulted_writes_retry_to_a_consistent_store() {
+        use dhub_faults::{FaultConfig, FaultInjector, RetryPolicy};
+        let root = tmp_root("faulted");
+        let injector = Arc::new(FaultInjector::new(FaultConfig::uniform(41, 0.25)));
+        let publisher = Publisher::new().with_faults(Some(dhub_persist::WriteFaults {
+            injector: injector.clone(),
+            policy: RetryPolicy::fast(32),
+        }));
+        let reference = DedupStore::new();
+        {
+            let store = PersistentDedupStore::open(&root, publisher).unwrap();
+            for (d, b) in &sample_layers() {
+                store.ingest_layer(*d, b).unwrap();
+                reference.ingest_layer(*d, b).unwrap();
+            }
+        }
+        assert!(injector.stats().total() > 0, "25 % crash rate must fire");
+        let reopened = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+        assert_eq!(reopened.mem().stats(), reference.stats());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn torn_recipe_fails_replay_loudly() {
+        let root = tmp_root("torn");
+        let (d, b) = sample_layers()[0].clone();
+        {
+            let store = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+            store.ingest_layer(d, &b).unwrap();
+        }
+        // Flip a byte inside the recipe envelope behind the store's back.
+        let hex = hex_of(&d);
+        let path = root.join("layers").join(&hex[..2]).join(format!("{hex}.json"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = PersistentDedupStore::open(&root, Publisher::new())
+            .err()
+            .expect("replay of a tampered recipe must fail");
+        match err {
+            PersistentError::Persist(PersistError::Torn(p)) => assert_eq!(p, path),
+            other => panic!("expected torn recipe error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn persistent_fused_matches_memory_fused() {
+        let root = tmp_root("fused");
+        let layers: Vec<(Digest, Arc<Vec<u8>>)> =
+            sample_layers().into_iter().map(|(d, b)| (d, Arc::new(b))).collect();
+        let mem_store = DedupStore::new();
+        let mem_obs = MetricsRegistry::new();
+        let mem_res = crate::analyze_and_ingest_all(&layers, 2, &mem_store, &mem_obs);
+
+        let pstore = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+        let pobs = MetricsRegistry::new();
+        let pres = analyze_and_ingest_all_persistent(&layers, 2, &pstore, &pobs);
+
+        assert_eq!(pres.analysis.layers, mem_res.analysis.layers);
+        assert_eq!(pres.ingests.len(), mem_res.ingests.len());
+        assert_eq!(pstore.mem().stats(), mem_store.stats());
+        assert_eq!(
+            pobs.counter_value("dhub_analyze_files_total"),
+            mem_obs.counter_value("dhub_analyze_files_total")
+        );
+
+        drop(pstore);
+        let reopened = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+        assert_eq!(reopened.mem().stats(), mem_store.stats());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn remove_layer_mirrors_on_disk() {
+        let root = tmp_root("remove");
+        let store = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+        let layers = sample_layers();
+        for (d, b) in &layers {
+            store.ingest_layer(*d, b).unwrap();
+        }
+        let before_objects = store.objects().list().unwrap().len();
+        assert!(before_objects > 0);
+        store.remove_layer(&layers[2].0).unwrap();
+        assert!(!store.contains_layer(&layers[2].0));
+        drop(store);
+        let reopened = PersistentDedupStore::open(&root, Publisher::new()).unwrap();
+        assert_eq!(reopened.mem().stats().layers, 2);
+        assert!(reopened.mem().reconstruct_tar(&layers[0].0).is_ok());
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

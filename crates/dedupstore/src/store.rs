@@ -367,6 +367,23 @@ impl DedupStore {
         self.recipes.read().get(layer_digest).cloned()
     }
 
+    /// True when the object store already holds this content digest (the
+    /// persistent tier uses this to skip redundant disk writes).
+    pub fn has_object(&self, digest: &Digest) -> bool {
+        self.objects.read().contains_key(digest)
+    }
+
+    /// Digests of every ingested layer (unordered).
+    pub fn layer_digests(&self) -> Vec<Digest> {
+        self.recipes.read().keys().copied().collect()
+    }
+
+    /// `(content digest, reference count)` for every live object
+    /// (unordered) — the raw material of a persisted refcount manifest.
+    pub fn object_refcounts(&self) -> Vec<(Digest, u64)> {
+        self.objects.read().iter().map(|(d, o)| (*d, o.refs)).collect()
+    }
+
     /// Removes a layer: drops its recipe, decrements object refcounts, and
     /// garbage-collects objects that reached zero. Returns reclaimed bytes.
     pub fn remove_layer(&self, layer_digest: &Digest) -> Result<u64, StoreError> {

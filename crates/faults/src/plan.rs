@@ -78,11 +78,15 @@ pub enum FaultOp {
     Token,
     /// A crawl search-results page fetch.
     Search,
+    /// A durable write in the persist tier (object, recipe, or table
+    /// publish). Faults here model crashes mid-write: torn or bit-flipped
+    /// in-flight temp files that never reach their final name.
+    Persist,
 }
 
 /// All ops, in a fixed order used for stats indexing and rate config.
-pub const ALL_FAULT_OPS: [FaultOp; 4] =
-    [FaultOp::Manifest, FaultOp::Blob, FaultOp::Token, FaultOp::Search];
+pub const ALL_FAULT_OPS: [FaultOp; 5] =
+    [FaultOp::Manifest, FaultOp::Blob, FaultOp::Token, FaultOp::Search, FaultOp::Persist];
 
 impl FaultOp {
     fn index(self) -> usize {
@@ -91,6 +95,7 @@ impl FaultOp {
             FaultOp::Blob => 1,
             FaultOp::Token => 2,
             FaultOp::Search => 3,
+            FaultOp::Persist => 4,
         }
     }
 
@@ -101,6 +106,7 @@ impl FaultOp {
             FaultOp::Blob => "blob",
             FaultOp::Token => "token",
             FaultOp::Search => "search",
+            FaultOp::Persist => "persist",
         }
     }
 }
@@ -113,7 +119,7 @@ pub struct FaultConfig {
     pub seed: u64,
     /// Per-op probability (0..=1) that one attempt faults, indexed like
     /// [`ALL_FAULT_OPS`].
-    pub rates: [f64; 4],
+    pub rates: [f64; 5],
     /// Relative weight of each kind when a fault fires, indexed like
     /// [`ALL_FAULT_KINDS`]. A zero weight disables the kind.
     pub weights: [u32; 7],
@@ -126,7 +132,7 @@ impl FaultConfig {
     pub fn uniform(seed: u64, rate: f64) -> FaultConfig {
         FaultConfig {
             seed,
-            rates: [rate; 4],
+            rates: [rate; 5],
             // Transport errors dominate real crawls; corruption is rarer.
             weights: [3, 3, 3, 1, 1, 2, 2],
             slow_link: Duration::from_millis(1),
@@ -251,7 +257,7 @@ pub struct FaultStats {
     /// Fired faults per kind, indexed like [`ALL_FAULT_KINDS`].
     pub by_kind: [u64; 7],
     /// Fired faults per op, indexed like [`ALL_FAULT_OPS`].
-    pub by_op: [u64; 4],
+    pub by_op: [u64; 5],
 }
 
 impl FaultStats {
@@ -283,7 +289,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     attempts: Mutex<HashMap<(u8, u64), u32>>,
     by_kind: [AtomicU64; 7],
-    by_op: [AtomicU64; 4],
+    by_op: [AtomicU64; 5],
 }
 
 impl FaultInjector {

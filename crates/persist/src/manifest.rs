@@ -1,0 +1,241 @@
+//! The refcount manifest: a checkpointed snapshot of a layered store's
+//! derived state (object refcounts + aggregate stats + layer set).
+//!
+//! Authoritative state is the per-layer recipe files plus the object
+//! store; the manifest only caches what is derivable from them. A
+//! consistency fingerprint over the layer set ties a manifest to the
+//! recipes it summarized — if a crash lands between a recipe publish and
+//! the next checkpoint, the fingerprint mismatches and the opener rebuilds
+//! from the recipes instead of trusting a stale snapshot.
+
+use crate::fsync::Publisher;
+use crate::{digest_from_hex, hex_of, PersistError};
+use dhub_json::Json;
+use dhub_model::Digest;
+use std::path::Path;
+
+/// Aggregate counters a layered store checkpoints (mirrors the dedup
+/// store's `StoreStats`, kept as plain u64s here so `dhub-persist` stays
+/// below `dhub-dedupstore` in the crate DAG).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManifestStats {
+    pub layers: u64,
+    pub unique_objects: u64,
+    pub physical_bytes: u64,
+    pub logical_bytes: u64,
+    pub conventional_bytes: u64,
+}
+
+/// A refcount manifest snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RefManifest {
+    /// Aggregate stats at checkpoint time.
+    pub stats: ManifestStats,
+    /// `(object digest, references)` sorted by digest hex.
+    pub refcounts: Vec<(Digest, u64)>,
+    /// Digests of the layers summarized, sorted by hex.
+    pub layers: Vec<Digest>,
+}
+
+/// Fingerprint of a layer set: SHA-256 over the sorted digest hexes. Both
+/// the manifest writer and the opener compute it the same way, so equality
+/// means "this manifest summarizes exactly those recipes".
+pub fn layer_fingerprint(layers: &[Digest]) -> Digest {
+    let mut hexes: Vec<String> = layers.iter().map(hex_of).collect();
+    hexes.sort();
+    Digest::of(hexes.join("\n").as_bytes())
+}
+
+impl RefManifest {
+    /// Normalizes (sorts) the refcount and layer vectors in place so two
+    /// manifests over the same state serialize byte-identically.
+    pub fn normalize(&mut self) {
+        self.refcounts.sort_by_key(|(d, _)| hex_of(d));
+        self.layers.sort_by_key(hex_of);
+    }
+
+    /// The fingerprint of this manifest's layer set.
+    pub fn fingerprint(&self) -> Digest {
+        layer_fingerprint(&self.layers)
+    }
+
+    /// The manifest body (everything but the trailing checksum field).
+    fn body(&self) -> Json {
+        let mut root = Json::obj();
+        root.set("schema", "dhub-persist-manifest-v1");
+        root.set("fingerprint", self.fingerprint().to_docker_string());
+        let mut stats = Json::obj();
+        stats
+            .set("layers", self.stats.layers)
+            .set("uniqueObjects", self.stats.unique_objects)
+            .set("physicalBytes", self.stats.physical_bytes)
+            .set("logicalBytes", self.stats.logical_bytes)
+            .set("conventionalBytes", self.stats.conventional_bytes);
+        root.set("stats", stats);
+        root.set(
+            "layers",
+            Json::Arr(self.layers.iter().map(|d| Json::Str(hex_of(d))).collect()),
+        );
+        let refs: Vec<Json> = self
+            .refcounts
+            .iter()
+            .map(|(d, n)| {
+                let mut o = Json::obj();
+                o.set("object", hex_of(d)).set("refs", *n);
+                o
+            })
+            .collect();
+        root.set("refcounts", Json::Arr(refs));
+        root
+    }
+
+    /// Serializes to JSON. Counts fit losslessly in JSON numbers below
+    /// 2^53 — far above anything this corpus produces. A trailing
+    /// `checksum` field digests the rest of the document, so any bit of a
+    /// manifest that changes behind the store's back is detected on load.
+    pub fn to_json(&self) -> String {
+        let mut root = self.body();
+        let sum = Digest::of(root.to_string().as_bytes());
+        root.set("checksum", sum.to_docker_string());
+        root.to_string()
+    }
+
+    /// Parses a manifest back, verifying the embedded fingerprint against
+    /// the layer list and the body checksum against a deterministic
+    /// re-serialization (a manifest whose own halves disagree is torn).
+    pub fn from_json(text: &str) -> Option<RefManifest> {
+        let j = dhub_json::parse(text).ok()?;
+        if j.get("schema")?.as_str()? != "dhub-persist-manifest-v1" {
+            return None;
+        }
+        let s = j.get("stats")?;
+        let stats = ManifestStats {
+            layers: s.get("layers")?.as_u64()?,
+            unique_objects: s.get("uniqueObjects")?.as_u64()?,
+            physical_bytes: s.get("physicalBytes")?.as_u64()?,
+            logical_bytes: s.get("logicalBytes")?.as_u64()?,
+            conventional_bytes: s.get("conventionalBytes")?.as_u64()?,
+        };
+        let layers = j
+            .get("layers")?
+            .as_arr()?
+            .iter()
+            .map(|v| v.as_str().and_then(digest_from_hex))
+            .collect::<Option<Vec<_>>>()?;
+        let refcounts = j
+            .get("refcounts")?
+            .as_arr()?
+            .iter()
+            .map(|v| {
+                Some((digest_from_hex(v.get("object")?.as_str()?)?, v.get("refs")?.as_u64()?))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let m = RefManifest { stats, refcounts, layers };
+        let claimed = Digest::parse(j.get("fingerprint")?.as_str()?)?;
+        if claimed != m.fingerprint() {
+            return None;
+        }
+        let claimed_sum = Digest::parse(j.get("checksum")?.as_str()?)?;
+        if claimed_sum != Digest::of(m.body().to_string().as_bytes()) {
+            return None;
+        }
+        Some(m)
+    }
+
+    /// Publishes the manifest at `path` (atomically, faultably).
+    pub fn save(&self, path: &Path, publisher: &Publisher) -> Result<(), PersistError> {
+        publisher.publish(path, self.to_json().as_bytes())
+    }
+
+    /// Loads a manifest; `Ok(None)` when the file is absent, and
+    /// [`PersistError::Torn`] when present but unparseable/inconsistent.
+    pub fn load(path: &Path) -> Result<Option<RefManifest>, PersistError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        match RefManifest::from_json(&text) {
+            Some(m) => Ok(Some(m)),
+            None => Err(PersistError::Torn(path.to_path_buf())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RefManifest {
+        let mut m = RefManifest {
+            stats: ManifestStats {
+                layers: 2,
+                unique_objects: 3,
+                physical_bytes: 100,
+                logical_bytes: 160,
+                conventional_bytes: 90,
+            },
+            refcounts: vec![(Digest::of(b"obj-b"), 2), (Digest::of(b"obj-a"), 1)],
+            layers: vec![Digest::of(b"layer-2"), Digest::of(b"layer-1")],
+        };
+        m.normalize();
+        m
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = sample();
+        assert_eq!(RefManifest::from_json(&m.to_json()), Some(m));
+    }
+
+    #[test]
+    fn normalization_is_canonical() {
+        let a = sample();
+        let mut b = sample();
+        b.refcounts.reverse();
+        b.layers.reverse();
+        b.normalize();
+        assert_eq!(a.to_json(), b.to_json(), "same state must serialize identically");
+    }
+
+    #[test]
+    fn fingerprint_tracks_layer_set() {
+        let m = sample();
+        let mut other = m.clone();
+        other.layers.push(Digest::of(b"layer-3"));
+        assert_ne!(m.fingerprint(), other.fingerprint());
+        // Order does not matter.
+        assert_eq!(
+            layer_fingerprint(&[Digest::of(b"x"), Digest::of(b"y")]),
+            layer_fingerprint(&[Digest::of(b"y"), Digest::of(b"x")])
+        );
+    }
+
+    #[test]
+    fn tampered_manifest_is_torn() {
+        let m = sample();
+        let text = m.to_json().replace("\"layers\":2", "\"layers\":7");
+        assert_eq!(RefManifest::from_json(&text), None);
+
+        let dir = std::env::temp_dir().join(format!("dhub-persist-man-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        std::fs::write(&path, "{\"schema\":\"junk\"}").unwrap();
+        assert!(matches!(RefManifest::load(&path), Err(PersistError::Torn(_))));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dhub-persist-man2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        assert_eq!(RefManifest::load(&path).unwrap(), None);
+        let m = sample();
+        m.save(&path, &Publisher::new()).unwrap();
+        assert_eq!(RefManifest::load(&path).unwrap(), Some(m));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

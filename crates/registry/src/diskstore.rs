@@ -3,13 +3,13 @@
 //! The in-memory [`crate::BlobStore`] is the default for simulation speed;
 //! this variant persists blobs the way Docker's registry does — sharded by
 //! digest prefix under a root directory (`blobs/sha256/ab/<hex>`), written
-//! atomically via a temp file + rename. It exists so storage-policy
-//! experiments (dedup store, uncompressed-layer policy) can be run against
-//! real filesystems.
+//! atomically via `dhub_persist`'s shared temp-write + fsync + rename +
+//! parent-fsync discipline. It exists so storage-policy experiments (dedup
+//! store, uncompressed-layer policy) can be run against real filesystems.
 
 use dhub_model::Digest;
+use dhub_persist::{atomic_publish, fsync_dir};
 use dhub_sync::Mutex;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Errors from disk blob operations.
@@ -72,22 +72,13 @@ impl DiskBlobStore {
         }
         let parent = path.parent().expect("blob path has parent");
         std::fs::create_dir_all(parent)?;
-        // Atomic publish: write to a temp name, then rename.
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(data)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, &path)?;
-        // Crash-consistency contract: `sync_all` above makes the *bytes*
-        // durable and the rename makes the publish atomic, but the new
-        // directory entry itself lives in the parent directory's data and
-        // is not durable until the directory is fsynced. Without this, a
-        // crash after `put` returns can lose the blob entirely (file data
-        // on disk, no name pointing at it). fsync the parent so a
-        // successful `put` means the blob survives power loss.
-        std::fs::File::open(parent)?.sync_all()?;
+        // The crash-consistency contract (temp write + fsync + atomic
+        // rename + parent-directory fsync) lives in `dhub_persist` so the
+        // registry and the persist tier share one durability code path.
+        // A freshly created shard directory needs its own parent synced
+        // too, or a crash can drop the whole shard.
+        fsync_dir(&self.root.join("blobs/sha256"))?;
+        atomic_publish(&path, data)?;
         Ok(digest)
     }
 

@@ -1,0 +1,371 @@
+//! The persisted study database: typed columnar tables written next to
+//! the durable dedup store, answering Table-1-style questions without
+//! re-running the pipeline.
+//!
+//! One pipeline run writes five tables under `<store-dir>/db/`:
+//!
+//! | table        | one row per      | columns                                     |
+//! |--------------|------------------|---------------------------------------------|
+//! | `layers.tbl` | unique layer     | digest, cls, fls, files, dirs, depth        |
+//! | `files.tbl`  | file in a layer  | layer, path, kind, group, size              |
+//! | `images.tbl` | downloaded image | repo, manifest, layers, fis, cis, files     |
+//! | `dedup.tbl`  | store (single)   | layers, objects, physical, logical, conventional, factor |
+//! | `study.tbl`  | Table-1 counter  | key, value                                  |
+//!
+//! Rows are emitted in deterministic order (layers sorted by digest,
+//! files in archive order within each layer, images sorted by repo), and
+//! every numeric column round-trips bit-exactly, so two runs over the
+//! same hub — or one run reloaded from disk — produce byte-identical
+//! table files and byte-identical query answers.
+
+use crate::pipeline::StudyData;
+use dhub_dedupstore::StoreStats;
+use dhub_persist::{hex_of, ColType, PersistError, Predicate, Publisher, Schema, Table, Value};
+use std::path::{Path, PathBuf};
+
+/// The five study tables, in memory.
+pub struct StudyDb {
+    pub layers: Table,
+    pub files: Table,
+    pub images: Table,
+    pub dedup: Table,
+    pub study: Table,
+}
+
+fn layers_schema() -> Schema {
+    Schema::new(&[
+        ("digest", ColType::Str),
+        ("cls", ColType::U64),
+        ("fls", ColType::U64),
+        ("files", ColType::U64),
+        ("dirs", ColType::U64),
+        ("depth", ColType::U64),
+    ])
+}
+
+fn files_schema() -> Schema {
+    Schema::new(&[
+        ("layer", ColType::Str),
+        ("path", ColType::Str),
+        ("kind", ColType::Str),
+        ("group", ColType::Str),
+        ("size", ColType::U64),
+    ])
+}
+
+fn images_schema() -> Schema {
+    Schema::new(&[
+        ("repo", ColType::Str),
+        ("manifest", ColType::Str),
+        ("layers", ColType::U64),
+        ("fis", ColType::U64),
+        ("cis", ColType::U64),
+        ("files", ColType::U64),
+    ])
+}
+
+fn dedup_schema() -> Schema {
+    Schema::new(&[
+        ("layers", ColType::U64),
+        ("uniqueObjects", ColType::U64),
+        ("physicalBytes", ColType::U64),
+        ("logicalBytes", ColType::U64),
+        ("conventionalBytes", ColType::U64),
+        ("factor", ColType::F64),
+    ])
+}
+
+fn study_schema() -> Schema {
+    Schema::new(&[("key", ColType::Str), ("value", ColType::U64)])
+}
+
+impl StudyDb {
+    /// Builds the tables from one pipeline run plus the dedup store's
+    /// aggregate stats.
+    pub fn build(data: &StudyData, store: &StoreStats) -> StudyDb {
+        let mut layers = Table::new(layers_schema());
+        let mut files = Table::new(files_schema());
+        for p in data.layer_slice() {
+            let hex = hex_of(&p.digest);
+            layers
+                .push_row(vec![
+                    Value::Str(hex.clone()),
+                    Value::U64(p.cls),
+                    Value::U64(p.fls),
+                    Value::U64(p.file_count),
+                    Value::U64(p.dir_count),
+                    Value::U64(p.max_depth),
+                ])
+                .expect("layers schema matches");
+            for f in &p.files {
+                files
+                    .push_row(vec![
+                        Value::Str(hex.clone()),
+                        Value::Str(f.path.clone()),
+                        Value::Str(f.kind.label().to_string()),
+                        Value::Str(f.kind.group().label().to_string()),
+                        Value::U64(f.size),
+                    ])
+                    .expect("files schema matches");
+            }
+        }
+
+        let mut images = Table::new(images_schema());
+        for img in &data.images {
+            images
+                .push_row(vec![
+                    Value::Str(img.repo.to_string()),
+                    Value::Str(hex_of(&img.manifest_digest)),
+                    Value::U64(img.layer_count() as u64),
+                    Value::U64(img.fis),
+                    Value::U64(img.cis),
+                    Value::U64(img.file_count),
+                ])
+                .expect("images schema matches");
+        }
+
+        let mut dedup = Table::new(dedup_schema());
+        dedup
+            .push_row(vec![
+                Value::U64(store.layers as u64),
+                Value::U64(store.unique_objects as u64),
+                Value::U64(store.physical_bytes),
+                Value::U64(store.logical_bytes),
+                Value::U64(store.conventional_bytes),
+                Value::F64(store.dedup_factor()),
+            ])
+            .expect("dedup schema matches");
+
+        // Table-1 counters, keyed by the human label `summary` prints.
+        let total_files: u64 = data.layer_slice().iter().map(|l| l.file_count).sum();
+        let layer_bytes: u64 = data.layer_slice().iter().map(|l| l.cls).sum();
+        let mut study = Table::new(study_schema());
+        let rows: Vec<(&str, u64)> = vec![
+            ("search results (raw)", data.crawl.raw_results as u64),
+            ("distinct repositories", data.crawl.distinct_repos as u64),
+            ("images downloaded", data.download.images_downloaded as u64),
+            ("images failed", data.download.failures() as u64),
+            ("failed: auth required", data.download.failed_auth as u64),
+            ("failed: no latest tag", data.download.failed_no_latest as u64),
+            ("unique compressed layers", data.download.unique_layers as u64),
+            ("layer fetches skipped", data.download.layer_fetches_skipped),
+            ("files analyzed", total_files),
+            ("layer bytes analyzed", layer_bytes),
+            ("compressed bytes fetched", data.download.bytes_fetched),
+            ("analyze errors", data.analyze_errors as u64),
+            ("size scale", data.size_scale),
+            ("seed", data.seed),
+        ];
+        for (k, v) in rows {
+            study
+                .push_row(vec![Value::Str(k.to_string()), Value::U64(v)])
+                .expect("study schema matches");
+        }
+
+        StudyDb { layers, files, images, dedup, study }
+    }
+
+    fn table_path(dir: &Path, name: &str) -> PathBuf {
+        dir.join(format!("{name}.tbl"))
+    }
+
+    /// Publishes all five tables under `dir` (created if needed).
+    pub fn save(&self, dir: &Path, publisher: &Publisher) -> Result<(), PersistError> {
+        std::fs::create_dir_all(dir)?;
+        dhub_persist::fsync_dir(dir.parent().unwrap_or(dir))?;
+        for (name, table) in [
+            ("layers", &self.layers),
+            ("files", &self.files),
+            ("images", &self.images),
+            ("dedup", &self.dedup),
+            ("study", &self.study),
+        ] {
+            table.save(&Self::table_path(dir, name), publisher)?;
+        }
+        Ok(())
+    }
+
+    /// Loads all five tables from `dir`.
+    pub fn load(dir: &Path) -> Result<StudyDb, PersistError> {
+        Ok(StudyDb {
+            layers: Table::load(&Self::table_path(dir, "layers"))?,
+            files: Table::load(&Self::table_path(dir, "files"))?,
+            images: Table::load(&Self::table_path(dir, "images"))?,
+            dedup: Table::load(&Self::table_path(dir, "dedup"))?,
+            study: Table::load(&Self::table_path(dir, "study"))?,
+        })
+    }
+
+    /// The persisted dedup factor (bit-exact: the f64 column stores raw
+    /// bits).
+    pub fn dedup_factor(&self) -> f64 {
+        self.dedup.col_f64("factor").map(|c| c[0]).unwrap_or(1.0)
+    }
+
+    /// Table-1-style summary lines, rebuilt purely from persisted rows —
+    /// the `dhub query summary` payload.
+    pub fn summary(&self) -> Vec<String> {
+        let keys = self.study.col_str("key").expect("study table has key column");
+        let values = self.study.col_u64("value").expect("study table has value column");
+        let mut rows: Vec<String> = keys
+            .iter()
+            .zip(values)
+            .map(|(k, v)| format!("{k:28}: {v}"))
+            .collect();
+        rows.push(format!("{:28}: {}", "empty layers", self.empty_layers()));
+        rows.push(format!("{:28}: {:.6}x", "dedup factor", self.dedup_factor()));
+        rows
+    }
+
+    /// Dedup-store lines for `dhub query dedup`.
+    pub fn dedup_summary(&self) -> Vec<String> {
+        let col = |n: &str| self.dedup.col_u64(n).expect("dedup table column")[0];
+        vec![
+            format!("{:20}: {}", "layers", col("layers")),
+            format!("{:20}: {}", "unique objects", col("uniqueObjects")),
+            format!("{:20}: {}", "physical bytes", col("physicalBytes")),
+            format!("{:20}: {}", "logical bytes", col("logicalBytes")),
+            format!("{:20}: {}", "conventional bytes", col("conventionalBytes")),
+            format!("{:20}: {:.6}x", "dedup factor", self.dedup_factor()),
+        ]
+    }
+
+    /// Layers holding no regular files, via predicate pushdown on the
+    /// `files` count column.
+    pub fn empty_layers(&self) -> usize {
+        self.layers
+            .scan(&[Predicate::U64Eq("files".to_string(), 0)])
+            .map(|rows| rows.len())
+            .unwrap_or(0)
+    }
+
+    /// Top `n` file types by count: `(kind label, files, bytes)`, count
+    /// descending, label ascending on ties.
+    pub fn top_file_types(&self, n: usize) -> Vec<(String, u64, u64)> {
+        let kinds = self.files.col_str("kind").expect("files table has kind column");
+        let sizes = self.files.col_u64("size").expect("files table has size column");
+        let mut agg: std::collections::BTreeMap<&str, (u64, u64)> = std::collections::BTreeMap::new();
+        for (k, s) in kinds.iter().zip(sizes) {
+            let e = agg.entry(k).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s;
+        }
+        let mut rows: Vec<(String, u64, u64)> =
+            agg.into_iter().map(|(k, (c, b))| (k.to_string(), c, b)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Total file bytes in one type group (e.g. "EOL"), via predicate
+    /// pushdown on the string column.
+    pub fn group_bytes(&self, group: &str) -> u64 {
+        let Ok(rows) = self.files.scan(&[Predicate::StrEq("group".to_string(), group.to_string())])
+        else {
+            return 0;
+        };
+        let sizes = self.files.col_u64("size").expect("files table has size column");
+        rows.iter().map(|&i| sizes[i]).sum()
+    }
+
+    /// Compressed-layer-size percentiles (nearest-rank) for
+    /// `dhub query layer-percentiles`.
+    pub fn layer_size_percentiles(&self) -> Vec<(&'static str, u64)> {
+        let mut cls: Vec<u64> =
+            self.layers.col_u64("cls").expect("layers table has cls column").to_vec();
+        cls.sort_unstable();
+        let pick = |p: f64| -> u64 {
+            if cls.is_empty() {
+                return 0;
+            }
+            let rank = ((p / 100.0) * cls.len() as f64).ceil() as usize;
+            cls[rank.clamp(1, cls.len()) - 1]
+        };
+        vec![
+            ("p10", pick(10.0)),
+            ("p25", pick(25.0)),
+            ("p50", pick(50.0)),
+            ("p75", pick(75.0)),
+            ("p90", pick(90.0)),
+            ("p99", pick(99.0)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_study_store;
+    use dhub_faults::RetryPolicy;
+    use dhub_synth::{generate_hub, SynthConfig};
+
+    fn built() -> StudyDb {
+        let hub = generate_hub(&SynthConfig::tiny(31).with_repos(30));
+        let store = dhub_dedupstore::DedupStore::new();
+        let data = run_study_store(&hub, 2, &RetryPolicy::default(), &store);
+        StudyDb::build(&data, &store.stats())
+    }
+
+    #[test]
+    fn build_is_deterministic_and_roundtrips() {
+        let a = built();
+        let b = built();
+        for (ta, tb) in [
+            (&a.layers, &b.layers),
+            (&a.files, &b.files),
+            (&a.images, &b.images),
+            (&a.dedup, &b.dedup),
+            (&a.study, &b.study),
+        ] {
+            assert_eq!(ta.to_bytes(), tb.to_bytes(), "tables must serialize identically");
+        }
+
+        let dir = std::env::temp_dir().join(format!("dhub-studydb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        a.save(&dir, &Publisher::new()).unwrap();
+        let loaded = StudyDb::load(&dir).unwrap();
+        assert_eq!(loaded.layers.to_bytes(), a.layers.to_bytes());
+        assert_eq!(loaded.files.to_bytes(), a.files.to_bytes());
+        assert_eq!(loaded.summary(), a.summary(), "query answers must survive reload");
+        assert_eq!(loaded.dedup_factor().to_bits(), a.dedup_factor().to_bits());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn queries_agree_with_source_data() {
+        let hub = generate_hub(&SynthConfig::tiny(37).with_repos(30));
+        let store = dhub_dedupstore::DedupStore::new();
+        let data = run_study_store(&hub, 2, &RetryPolicy::default(), &store);
+        let db = StudyDb::build(&data, &store.stats());
+
+        assert_eq!(db.dedup_factor().to_bits(), store.stats().dedup_factor().to_bits());
+        assert_eq!(db.layers.len(), data.layers.len());
+        let total_files: u64 = data.layer_slice().iter().map(|l| l.file_count).sum();
+        assert_eq!(db.files.len() as u64, total_files);
+        assert_eq!(db.images.len(), data.images.len());
+
+        let empty = data.layer_slice().iter().filter(|l| l.is_empty()).count();
+        assert_eq!(db.empty_layers(), empty);
+
+        let top = db.top_file_types(5);
+        assert!(!top.is_empty());
+        let counted: u64 = db.top_file_types(usize::MAX).iter().map(|(_, c, _)| c).sum();
+        assert_eq!(counted, total_files, "type census must cover every file");
+
+        let pcts = db.layer_size_percentiles();
+        assert_eq!(pcts.len(), 6);
+        assert!(pcts.windows(2).all(|w| w[0].1 <= w[1].1), "percentiles must be monotone");
+    }
+
+    #[test]
+    fn group_bytes_pushdown_matches_full_scan() {
+        let db = built();
+        let groups = db.files.col_str("group").unwrap().to_vec();
+        let sizes = db.files.col_u64("size").unwrap().to_vec();
+        for g in ["EOL", "Scr.", "Doc."] {
+            let want: u64 =
+                groups.iter().zip(&sizes).filter(|(k, _)| k.as_str() == g).map(|(_, s)| *s).sum();
+            assert_eq!(db.group_bytes(g), want, "pushdown diverged for group {g}");
+        }
+    }
+}

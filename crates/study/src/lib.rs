@@ -6,6 +6,7 @@
 //! with paper-vs-measured anchor comparisons (collected in EXPERIMENTS.md).
 
 pub mod carving;
+pub mod db;
 pub mod figures;
 pub mod latency;
 pub mod pipeline;

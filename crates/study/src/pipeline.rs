@@ -185,6 +185,42 @@ pub fn run_study_store_obs(
     assemble_study(hub, crawl_result, dl, fused.analysis)
 }
 
+/// [`run_study_store_obs`] against the **durable** store: the fused
+/// analyze + ingest pass writes every object and recipe through
+/// `dhub-persist`'s crash-safe publish path, so the filled store survives
+/// the process and can be reopened ([`dhub_dedupstore::PersistentDedupStore`]).
+/// `StudyData` is identical to the in-memory pipeline's; durability is
+/// purely a side effect, with `dhub_persist_*` counters on the publisher's
+/// registry binding.
+pub fn run_study_persist_obs(
+    hub: &SyntheticHub,
+    threads: usize,
+    policy: &RetryPolicy,
+    store: &dhub_dedupstore::PersistentDedupStore,
+    obs: &MetricsRegistry,
+) -> StudyData {
+    let officials: Vec<RepoName> =
+        hub.registry.repo_names().into_iter().filter(|r| r.is_official()).collect();
+    let injector = hub.registry.fault_injector();
+    let crawl_result = {
+        let _stage = span!(obs, "crawl");
+        crawl_obs(&hub.search, &officials, injector.as_deref(), policy, obs)
+    };
+
+    let net = NetworkModel::wan();
+    let dl = {
+        let _stage = span!(obs, "download");
+        download_all_obs(&hub.registry, &crawl_result.repos, threads, &net, policy, obs)
+    };
+    set_dedup_ratio(obs, &dl.report);
+
+    let fused = {
+        let _stage = span!(obs, "analyze");
+        dhub_dedupstore::analyze_and_ingest_all_persistent(&dl.layers, threads, store, obs)
+    };
+    assemble_study(hub, crawl_result, dl, fused.analysis)
+}
+
 /// [`run_study_store_obs`] with a default registry.
 pub fn run_study_store(
     hub: &SyntheticHub,

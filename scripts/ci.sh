@@ -17,7 +17,7 @@ cargo test -q --offline
 
 # Property tests are behind each crate's optional `proptest` feature; the
 # workspace root is virtual, so enable the feature per package.
-PROP_CRATES=(cache carve compress dedupstore digest json magic model registry stats tar)
+PROP_CRATES=(cache carve compress dedupstore digest json magic model persist registry stats tar)
 for c in "${PROP_CRATES[@]}"; do
     echo "==> prop tests: dhub-$c"
     cargo test -q --offline -p "dhub-$c" --features proptest --test props
@@ -128,6 +128,60 @@ print(f"store gate: {layers} layers analyzed == ingested, zero analysis errors")
 EOF
 rm -f "$STORE_SNAP" "$STORE_OUT"
 
+# Persistence gate: a study ingested into an on-disk store must answer
+# `dhub query` from disk alone with exactly the numbers the ingest run
+# printed, a faulted ingest (write crashes + wire faults, retried) must
+# leave a store whose query answers are byte-identical to the clean run's,
+# and a re-run over a populated store must resume instead of re-ingesting.
+echo "==> persist gate: ingest -> reopen -> query reconciles, faulted == clean"
+PERSIST_CLEAN=$(mktemp -d /tmp/dhub-persist-clean.XXXXXX)
+PERSIST_FAULT=$(mktemp -d /tmp/dhub-persist-fault.XXXXXX)
+PERSIST_OUT=$(mktemp /tmp/dhub-persist-out.XXXXXX)
+rm -rf "$PERSIST_CLEAN" "$PERSIST_FAULT"
+./target/release/dhub store --repos 25 --seed 5 --scale 1024 --threads 2 \
+    --store-dir "$PERSIST_CLEAN" > "$PERSIST_OUT"
+./target/release/dhub query "$PERSIST_CLEAN" dedup > "$PERSIST_OUT.q"
+python3 - "$PERSIST_OUT" "$PERSIST_OUT.q" <<'EOF'
+import re
+import sys
+
+ingest = open(sys.argv[1]).read()
+query = open(sys.argv[2]).read()
+bad = []
+for label in ["layers", "unique objects", "logical bytes", "physical bytes"]:
+    want = int(re.search(re.escape(label) + r"\s*: (\d+)", ingest).group(1))
+    m = re.search(re.escape(label) + r"\s*: (\d+)", query)
+    if not m:
+        bad.append(f"query missing {label!r}")
+    elif int(m.group(1)) != want:
+        bad.append(f"query {label}={m.group(1)} but ingest printed {want}")
+if bad:
+    print("FAIL: query does not reconcile with the ingest run:", file=sys.stderr)
+    for b in bad:
+        print("  " + b, file=sys.stderr)
+    sys.exit(1)
+print("persist gate: query answers reconcile with the ingest run's printed stats")
+EOF
+# Faulted ingest into a second store: same query answers, byte for byte.
+./target/release/dhub store --repos 25 --seed 5 --scale 1024 --threads 2 \
+    --fault-rate 0.2 --fault-seed 7 --max-retries 16 \
+    --store-dir "$PERSIST_FAULT" > /dev/null
+for q in summary dedup top-types layer-percentiles; do
+    ./target/release/dhub query "$PERSIST_CLEAN" "$q" > "$PERSIST_OUT.clean"
+    ./target/release/dhub query "$PERSIST_FAULT" "$q" > "$PERSIST_OUT.fault"
+    cmp -s "$PERSIST_OUT.clean" "$PERSIST_OUT.fault" \
+        || { echo "FAIL: query '$q' diverged between clean and faulted stores" >&2; exit 1; }
+done
+echo "persist gate: 4 query outputs byte-identical across clean and faulted stores"
+# Resume: the same ingest again must replay, not re-ingest.
+./target/release/dhub store --repos 25 --seed 5 --scale 1024 --threads 2 \
+    --store-dir "$PERSIST_CLEAN" > "$PERSIST_OUT.resume"
+grep -q "resuming store with" "$PERSIST_OUT.resume" \
+    || { echo "FAIL: second run over a populated store did not resume" >&2; exit 1; }
+echo "persist gate: populated store resumed instead of re-ingesting"
+rm -rf "$PERSIST_CLEAN" "$PERSIST_FAULT" "$PERSIST_OUT" "$PERSIST_OUT.q" \
+    "$PERSIST_OUT.clean" "$PERSIST_OUT.fault" "$PERSIST_OUT.resume"
+
 # The obs bench must at least run (the full download comparison is the
 # recorded BENCH_obs.json; here we smoke the cheap primitives only).
 echo "==> obs bench smoke"
@@ -156,6 +210,18 @@ echo "$ANALYZE_CSV" | grep -Eq "^bench_sha256_1mib,[0-9]+,[0-9]+,[0-9]+$" \
     || { echo "FAIL: analyze bench CSV missing bench_sha256_1mib" >&2; exit 1; }
 echo "$ANALYZE_CSV" | grep -Eq "^bench_crc32_1mib,[0-9]+,[0-9]+,[0-9]+$" \
     || { echo "FAIL: analyze bench CSV missing bench_crc32_1mib" >&2; exit 1; }
+
+# Persist bench smoke: the warm table queries only (the fsync-bound ingest
+# and cold-reopen figures are the recorded BENCH_persist.json). Check the
+# CSV schema `name,median_ns,samples,threads` actually appears.
+echo "==> persist bench smoke"
+PERSIST_CSV=$(cargo bench --offline -p dhub-bench --bench persist -- \
+    bench_table_save_100k_rows bench_table_load_100k_rows \
+    bench_scan_pushdown_streq_100k bench_scan_pushdown_range_100k)
+echo "$PERSIST_CSV" | grep -Eq "^bench_table_load_100k_rows,[0-9]+,[0-9]+,[0-9]+$" \
+    || { echo "FAIL: persist bench CSV missing bench_table_load_100k_rows" >&2; exit 1; }
+echo "$PERSIST_CSV" | grep -Eq "^bench_scan_pushdown_streq_100k,[0-9]+,[0-9]+,[0-9]+$" \
+    || { echo "FAIL: persist bench CSV missing bench_scan_pushdown_streq_100k" >&2; exit 1; }
 
 echo "==> dependency audit"
 # No references to the removed external crates anywhere in crate sources.

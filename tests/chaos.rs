@@ -553,3 +553,172 @@ fn mirror_counters_reconcile_with_report_and_exposition_at_study_scale() {
     o1.shutdown();
     o2.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Persistence tier gates: the crash-safe store under write faults.
+//
+// The contract (DESIGN.md §6g): whatever combination of wire faults and
+// durable-write crashes a run survives, the store it leaves on disk —
+// reopened by a fresh "process" — must be indistinguishable from one
+// written by a clean single-process run: same stats bits, same
+// reconstructed tars, byte-identical study tables, identical query
+// answers.
+// ---------------------------------------------------------------------------
+
+/// Reads every regular file under `dir` into a sorted (name, bytes) list.
+fn dir_contents(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            out.push((
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            ));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn chaos_tmp(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dhub-chaos-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn persistent_store_reopens_identical_at_every_fault_rate() {
+    use dhub_dedupstore::{DedupStore, PersistentDedupStore};
+    use dhub_persist::{Publisher, WriteFaults};
+    use dhub_study::db::StudyDb;
+
+    // Reference: a clean single-process in-memory run, and the study
+    // tables it would write.
+    let ref_store = DedupStore::new();
+    let obs = MetricsRegistry::new();
+    let clean =
+        dhub_study::pipeline::run_study_store_obs(&hub(), THREADS, &patient(), &ref_store, &obs);
+    let ref_stats = ref_store.stats();
+    let ref_db = StudyDb::build(&clean, &ref_stats);
+    let ref_dir = chaos_tmp("persist-ref");
+    ref_db.save(&ref_dir.join("db"), &Publisher::new()).unwrap();
+
+    for rate in [0.0, 0.05, 0.20] {
+        let dir = chaos_tmp(&format!("persist-r{}", (rate * 100.0) as u32));
+        {
+            // "Process one": wire faults on the hub AND crash faults on
+            // every durable write, both from the same pinned seed.
+            let faults = (rate > 0.0).then(|| WriteFaults {
+                injector: Arc::new(FaultInjector::new(FaultConfig::uniform(FAULT_SEED, rate))),
+                policy: patient(),
+            });
+            let publisher = Publisher::new().with_faults(faults);
+            let store = PersistentDedupStore::open(&dir, publisher.clone()).unwrap();
+            let obs = MetricsRegistry::new();
+            let data = dhub_study::pipeline::run_study_persist_obs(
+                &faulted_hub(rate),
+                THREADS,
+                &patient(),
+                &store,
+                &obs,
+            );
+            assert_same_dataset(&data, &clean);
+            StudyDb::build(&data, &store.mem().stats())
+                .save(&dir.join("db"), &publisher)
+                .unwrap();
+            store.checkpoint().unwrap();
+        } // store dropped: the "process" dies here.
+
+        // "Process two": reopen from disk alone.
+        let store = PersistentDedupStore::open(&dir, Publisher::new()).unwrap();
+        let st = store.mem().stats();
+        assert_eq!(st, ref_stats, "reloaded stats diverged at rate {rate}");
+        assert_eq!(
+            st.dedup_factor().to_bits(),
+            ref_stats.dedup_factor().to_bits(),
+            "dedup factor must be bit-identical at rate {rate}"
+        );
+        for d in clean.layers.keys() {
+            assert_eq!(
+                store.mem().reconstruct_tar(d).unwrap(),
+                ref_store.reconstruct_tar(d).unwrap(),
+                "reconstruction diverged at rate {rate}"
+            );
+        }
+
+        // The study tables on disk are byte-identical to the reference's,
+        // and answer every query identically.
+        assert_eq!(
+            dir_contents(&dir.join("db")),
+            dir_contents(&ref_dir.join("db")),
+            "persisted .tbl files diverged at rate {rate}"
+        );
+        let db = StudyDb::load(&dir.join("db")).unwrap();
+        assert_eq!(db.summary(), ref_db.summary());
+        assert_eq!(db.dedup_summary(), ref_db.dedup_summary());
+        assert_eq!(db.top_file_types(10), ref_db.top_file_types(10));
+        assert_eq!(db.layer_size_percentiles(), ref_db.layer_size_percentiles());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+#[test]
+fn store_killed_mid_ingest_resumes_to_identical_state() {
+    use dhub_dedupstore::{analyze_and_ingest_persistent, DedupStore, PersistentDedupStore};
+    use dhub_persist::Publisher;
+    use dhub_study::db::StudyDb;
+
+    // Reference run: what a never-killed process produces.
+    let ref_store = DedupStore::new();
+    let obs = MetricsRegistry::new();
+    let clean =
+        dhub_study::pipeline::run_study_store_obs(&hub(), THREADS, &patient(), &ref_store, &obs);
+    let ref_stats = ref_store.stats();
+
+    let dir = chaos_tmp("persist-kill");
+    {
+        // "Process one" ingests half the layers, then dies without a
+        // checkpoint — some shard dirs full, manifest absent.
+        let store = PersistentDedupStore::open(&dir, Publisher::new()).unwrap();
+        let half: Vec<_> = clean.layers.keys().take(clean.layers.len() / 2).collect();
+        let mut scratch = dhub_par::Scratch::new();
+        let src = hub();
+        for d in half {
+            let blob = src.registry.get_blob(d).unwrap();
+            let (_profile, ingest) =
+                analyze_and_ingest_persistent(&store, *d, &blob, &mut scratch).unwrap();
+            ingest.unwrap();
+        }
+        assert!(!store.manifest_is_current(), "no checkpoint was written");
+    }
+
+    // "Process two" replays the partial store and finishes the study; the
+    // already-ingested half is skipped, not re-done.
+    let store = PersistentDedupStore::open(&dir, Publisher::new()).unwrap();
+    let replayed = store.mem().stats().layers;
+    assert!(replayed > 0, "replay found nothing to resume");
+    let obs = MetricsRegistry::new();
+    let data =
+        dhub_study::pipeline::run_study_persist_obs(&hub(), THREADS, &patient(), &store, &obs);
+    assert_same_dataset(&data, &clean);
+    let st = store.mem().stats();
+    assert_eq!(st, ref_stats, "resumed stats diverged from the never-killed run");
+    assert_eq!(st.dedup_factor().to_bits(), ref_stats.dedup_factor().to_bits());
+    store.checkpoint().unwrap();
+    assert!(store.manifest_is_current());
+
+    // And the tables it writes now are what process one would have written.
+    let publisher = Publisher::new();
+    StudyDb::build(&data, &st).save(&dir.join("db"), &publisher).unwrap();
+    let db = StudyDb::load(&dir.join("db")).unwrap();
+    let ref_db = StudyDb::build(&clean, &ref_stats);
+    assert_eq!(db.summary(), ref_db.summary());
+    assert_eq!(
+        db.dedup_factor().to_bits(),
+        ref_db.dedup_factor().to_bits(),
+        "queried dedup factor must be bit-identical after a mid-run kill"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
