@@ -1,0 +1,170 @@
+//! Queue tier benchmarks (BENCH_queue.json): the full queued study —
+//! crawl pages, image manifests, and layer fetch/analyze/ingest jobs
+//! flowing through the durable lease queue into the persistent store.
+//!
+//! Two questions, matching the subsystem's acceptance gates:
+//!
+//! - **Scaling**: with network pacing on (each blob fetch sleeps out its
+//!   WAN transfer time, which the sequential pipeline only *records*),
+//!   does a 4-worker fleet overlap transfers enough to beat 1 worker by
+//!   a healthy multiple?
+//! - **Overhead**: with pacing off, how much does routing every unit of
+//!   work through durable job/result envelopes and lease claims cost
+//!   over the direct single-process persistent pipeline?
+
+use dhub_bench::{criterion_group, criterion_main, Criterion};
+use dhub_dedupstore::PersistentDedupStore;
+use dhub_faults::RetryPolicy;
+use dhub_obs::MetricsRegistry;
+use dhub_persist::Publisher;
+use dhub_queue::{DurableQueue, LeaseConfig, LeaseManager};
+use dhub_study::distributed::{run_study_queued_obs, QueuedStudyConfig};
+use dhub_synth::{generate_hub, SynthConfig, SyntheticHub};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Bench dirs live on tmpfs when available: the queue bench measures
+/// coordination overhead and worker overlap, and on a journaling disk
+/// filesystem concurrent fsyncs serialize in the journal, which would
+/// measure the disk instead (the persist bench covers raw durable-ingest
+/// cost on the real filesystem).
+fn bench_dir(tag: &str) -> PathBuf {
+    let base = Path::new("/dev/shm");
+    let base = if base.is_dir() { base.to_path_buf() } else { std::env::temp_dir() };
+    let dir = base.join(format!("dhub-bench-queue-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Small corpus for the paced scaling pair: blob transfer sleeps are
+/// RTT-dominated, so the 1-vs-4-worker ratio isolates how well the fleet
+/// overlaps network waits (the only axis that can scale on one core).
+fn small_hub() -> SyntheticHub {
+    generate_hub(&SynthConfig::tiny(11).with_repos(12))
+}
+
+/// Paper-scale blobs (size_scale 1) over the same 12 repos for the
+/// overhead pair: per-layer analysis work dominates, so the ratio
+/// queued/direct exposes the queue's constant per-job envelope cost the
+/// way a real study would see it.
+fn big_hub() -> SyntheticHub {
+    generate_hub(&SynthConfig { size_scale: 1, ..SynthConfig::tiny(11).with_repos(12) })
+}
+
+/// One full queued study into a fresh store+queue at `dir`.
+fn queued_study(hub: &SyntheticHub, dir: &Path, workers: usize, pace: bool) -> usize {
+    std::fs::remove_dir_all(dir).ok();
+    let publisher = Publisher::new();
+    let store = PersistentDedupStore::open(dir, publisher.clone()).unwrap();
+    let queue = DurableQueue::open(dir.join("queue"), publisher).unwrap();
+    let cfg = QueuedStudyConfig { workers, pace_network: pace, ..QueuedStudyConfig::default() };
+    let obs = MetricsRegistry::new();
+    let data = run_study_queued_obs(hub, &store, &queue, &cfg, &obs).unwrap();
+    data.layers.len()
+}
+
+/// The direct (no queue) persistent pipeline over the same hub, single
+/// analysis thread — the baseline the 1-worker overhead figure is
+/// measured against.
+fn direct_study(hub: &SyntheticHub, dir: &Path) -> usize {
+    std::fs::remove_dir_all(dir).ok();
+    let store = PersistentDedupStore::open(dir, Publisher::new()).unwrap();
+    let obs = MetricsRegistry::new();
+    let data = dhub_study::pipeline::run_study_persist_obs(
+        hub,
+        1,
+        &RetryPolicy::default(),
+        &store,
+        &obs,
+    );
+    data.layers.len()
+}
+
+/// Whether any of `names` survives the harness's substring filters —
+/// mirrors `run_bench`'s check so corpus generation (a paper-scale
+/// synthetic hub) is skipped when a filtered run (the CI smoke) would
+/// never execute these benches anyway.
+fn wanted(names: &[&str]) -> bool {
+    let filters: Vec<String> =
+        std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    filters.is_empty()
+        || names.iter().any(|n| filters.iter().any(|f| n.contains(f.as_str())))
+}
+
+fn bench_queued_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.sample_size(10);
+    let dir = bench_dir("run");
+
+    // Paced runs: transfers dominate, so worker overlap is the figure.
+    if wanted(&["bench_queued_study_paced_1worker", "bench_queued_study_paced_4workers"]) {
+        let hub = small_hub();
+        g.bench_function("bench_queued_study_paced_1worker", |b| {
+            b.iter(|| std::hint::black_box(queued_study(&hub, &dir, 1, true)))
+        });
+        g.bench_function("bench_queued_study_paced_4workers", |b| {
+            b.iter(|| std::hint::black_box(queued_study(&hub, &dir, 4, true)))
+        });
+    }
+
+    // Unpaced runs: the queue's own durable-envelope cost vs the direct
+    // persistent pipeline doing the same crawl/fetch/analyze/ingest.
+    // This pair is measured *paired* — the two pipelines alternate
+    // within one window — because the overhead they resolve (a few
+    // percent) is smaller than the slow host-level drift between two
+    // separate measurement windows (±7% over minutes observed on this
+    // box). Alternating at seconds scale cancels that drift out of the
+    // ratio; the medians are printed in the harness's CSV contract.
+    if wanted(&["bench_queued_study_1worker", "bench_direct_persist_study"]) {
+        let hub = big_hub();
+        let samples = 10;
+        std::hint::black_box(queued_study(&hub, &dir, 1, false));
+        std::hint::black_box(direct_study(&hub, &dir));
+        let (mut q, mut d): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+        for _ in 0..samples {
+            let t = Instant::now();
+            std::hint::black_box(queued_study(&hub, &dir, 1, false));
+            q.push(t.elapsed().as_nanos() as f64);
+            let t = Instant::now();
+            std::hint::black_box(direct_study(&hub, &dir));
+            d.push(t.elapsed().as_nanos() as f64);
+        }
+        q.sort_by(f64::total_cmp);
+        d.sort_by(f64::total_cmp);
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        for (name, s) in
+            [("bench_queued_study_1worker", &q), ("bench_direct_persist_study", &d)]
+        {
+            println!("{name},{:.0},{samples},{threads}", s[samples / 2]);
+            eprintln!("[bench] {name}: {:.2} s/iter (paired)", s[samples / 2] / 1e9);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    g.finish();
+}
+
+/// Pure in-memory lease machine micro: insert, claim, and complete a
+/// thousand jobs. This is the per-job coordination cost floor (no disk,
+/// no executor), and the cheap target the CI bench smoke runs.
+fn bench_lease_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue-micro");
+    let ids: Vec<String> = (0..1000).map(|i| format!("job:{i:04}")).collect();
+    g.bench_function("bench_lease_claim_complete_1k", |b| {
+        b.iter(|| {
+            let mut m = LeaseManager::new(LeaseConfig::default());
+            for id in &ids {
+                m.insert(id);
+            }
+            let mut done = 0u32;
+            while let Some((id, _)) = m.claim(0) {
+                m.complete(&id);
+                done += 1;
+            }
+            std::hint::black_box(done)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(queue, bench_queued_pipeline, bench_lease_machine);
+criterion_main!(queue);

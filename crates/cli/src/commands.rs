@@ -32,9 +32,14 @@ COMMANDS:
   cache-sim                 replay a popularity trace against LRU/LFU/GDSF
   carve                     run perfect-layer carving over the hub
   store                     ingest the hub into the file-dedup store
+  work                      run the study through the durable job queue
+                            with a fleet of lease-holding workers
+                            (requires --store-dir; resumes a killed run)
   query <dir> [question]    answer study questions from a persisted store
                             (questions: summary | dedup | top-types |
-                            layer-percentiles)
+                            layer-percentiles); a mid-ingest store with
+                            no study tables yet is answered from its
+                            replayed layer recipes
 
 OPTIONS (all commands):
   --repos N                 repositories to generate   [default 120]
@@ -42,7 +47,17 @@ OPTIONS (all commands):
   --scale N                 size divisor (1/N)         [default 128]
   --threads N               worker threads             [default: cores]
 
-FAULT INJECTION (report, summary, pull, tags, serve, cache-sim, carve, store):
+WORKER FLEET (work):
+  --workers N               concurrent lease-holding workers [default: cores]
+                            1 worker and N workers produce byte-identical
+                            stores and query answers; a killed fleet is
+                            resumed by rerunning the same command
+  --max-commits N           kill the whole fleet after N commits (crash
+                            harness; rerun the same command to resume)
+
+FAULT INJECTION (report, summary, pull, tags, serve, cache-sim, carve, store,
+work — `work` additionally injects lease-loss faults, i.e. workers dying
+right after claiming a job):
   --fault-rate F            per-operation fault probability 0..1 [default 0]
   --fault-seed N            fault-plan seed (replayable)         [default 0]
   --max-retries N           retry budget per operation           [default 4]
@@ -54,7 +69,7 @@ MIRROR MODE (serve):
   --cache-bytes N           mirror cache byte budget     [default 64 MiB]
   --cache-policy P          lru | lfu | gdsf             [default lru]
 
-PERSISTENCE (summary, store):
+PERSISTENCE (summary, store, work):
   --store-dir DIR           open (or create) a crash-safe on-disk store at
                             DIR, ingest into it durably, and write the
                             queryable study tables under DIR/db. A partly
@@ -260,6 +275,7 @@ pub fn run(args: &Parsed, out: &mut impl Write) -> i32 {
         "cache-sim" => cmd_cache_sim(args, out),
         "carve" => cmd_carve(args, out),
         "store" => cmd_store(args, out),
+        "work" => cmd_work(args, out),
         "query" => cmd_query(args, out),
         other => {
             let _ = writeln!(out, "unknown command {other:?}\n\n{USAGE}");
@@ -493,15 +509,127 @@ fn cmd_store(args: &Parsed, out: &mut impl Write) -> CmdResult {
     emit_metrics(args, &obs, out)
 }
 
+/// Runs the full study through the durable job queue at
+/// `<store-dir>/queue` with `--workers` lease-holding workers, each
+/// ingesting into the shared crash-safe store. The queue and the store
+/// both resume: rerunning after a kill (or a quarantine) drains only the
+/// jobs that never committed a result, and the finished study tables are
+/// byte-identical to a single-worker (or plain `store --store-dir`) run.
+fn cmd_work(args: &Parsed, out: &mut impl Write) -> CmdResult {
+    use dhub_dedupstore::PersistentDedupStore;
+    use dhub_persist::{Publisher, WriteFaults};
+    use dhub_queue::DurableQueue;
+    use dhub_study::distributed::{run_study_queued_obs, QueuedStudyConfig};
+
+    let store_dir = args.str("store-dir", "");
+    if store_dir.is_empty() {
+        return Err("usage: dhub work --store-dir DIR [--workers N]".into());
+    }
+    let workers = args.num("workers", dhub_par::default_threads())?;
+    let hub = hub_for(args, out)?;
+    let (injector, policy) = fault_setup(args)?;
+    if let Some(inj) = &injector {
+        let cfg = inj.plan().config();
+        writeln!(out, "fault injection: rate={} seed={} max-retries={}",
+            cfg.rate(dhub_faults::FaultOp::Manifest), cfg.seed, policy.max_retries)?;
+        hub.registry.set_fault_injector(Some(inj.clone()));
+    }
+    let obs = Arc::new(MetricsRegistry::new());
+    let reporter = progress_for(args, &obs);
+
+    // As in `persistent_study_for`: durable writes and lease-loss faults
+    // each get their own injector instance over the same plan, so every
+    // fault stream replays deterministically no matter how N workers
+    // interleave registry traffic, disk writes, and claims.
+    let write_faults = injector.as_ref().map(|inj| WriteFaults {
+        injector: Arc::new(FaultInjector::new(inj.plan().config().clone())),
+        policy,
+    });
+    let lease_faults = injector
+        .as_ref()
+        .map(|inj| Arc::new(FaultInjector::new(inj.plan().config().clone())));
+    let publisher = Publisher::new().with_metrics(&obs).with_faults(write_faults);
+    let store = PersistentDedupStore::open_obs(&store_dir, publisher.clone(), Some(&obs))?;
+    let resumed = store.mem().stats().layers;
+    if resumed > 0 {
+        writeln!(out, "resuming store with {resumed} layers already ingested")?;
+    }
+    let queue =
+        DurableQueue::open(std::path::Path::new(&store_dir).join("queue"), publisher.clone())?
+            .with_metrics(&obs);
+    writeln!(out, "worker fleet: {workers} worker(s) on {store_dir}/queue")?;
+
+    let max_commits = args.num("max-commits", 0)?;
+    let qcfg = QueuedStudyConfig {
+        workers,
+        policy,
+        lease_faults,
+        max_commits: (max_commits > 0).then(|| max_commits as u64),
+        ..QueuedStudyConfig::default()
+    };
+    let data = run_study_queued_obs(&hub, &store, &queue, &qcfg, &obs);
+    if let Some(r) = reporter {
+        r.stop();
+    }
+    if let Some(inj) = &injector {
+        hub.registry.set_fault_injector(None);
+        writeln!(out, "faults fired: {}", inj.stats().total())?;
+    }
+    let data = match data {
+        // A deliberate --max-commits kill is the crash harness working as
+        // intended, not a failure: report and leave the durable state for
+        // the resuming run.
+        Err(dhub_queue::QueueError::Killed) => {
+            writeln!(
+                out,
+                "fleet killed after {} commits (rerun the same command to resume)",
+                obs.counter_value("dhub_queue_jobs_completed_total")
+            )?;
+            return Ok(());
+        }
+        other => other?,
+    };
+
+    let db = dhub_study::db::StudyDb::build(&data, &store.mem().stats());
+    db.save(&std::path::Path::new(&store_dir).join("db"), &publisher)?;
+    store.checkpoint()?;
+    let swept = store.gc()?;
+    if swept.objects + swept.tmp_files > 0 {
+        writeln!(out, "gc: {} orphan objects, {} temp files swept", swept.objects, swept.tmp_files)?;
+    }
+    writeln!(out, "jobs committed  : {}", obs.counter_value("dhub_queue_jobs_completed_total"))?;
+    writeln!(out, "lease expiries  : {}", obs.counter_value("dhub_queue_lease_expiries_total"))?;
+    let st = store.mem().stats();
+    writeln!(out, "store dir       : {store_dir}")?;
+    writeln!(out, "layers          : {}", st.layers)?;
+    writeln!(out, "unique objects  : {}", st.unique_objects)?;
+    writeln!(out, "logical bytes   : {}", st.logical_bytes)?;
+    writeln!(out, "physical bytes  : {}", st.physical_bytes)?;
+    writeln!(out, "dedup factor    : {:.2}x", st.dedup_factor())?;
+    emit_metrics(args, &obs, out)
+}
+
 /// Answers Table-1-style questions from a persisted store's study
 /// database — no hub generation, no re-analysis, just `<dir>/db` reads.
+/// A store whose study tables are not written yet (a fleet still
+/// mid-ingest, or killed before its checkpoint) falls back to replaying
+/// the durable layer recipes.
 fn cmd_query(args: &Parsed, out: &mut impl Write) -> CmdResult {
     use dhub_study::db::StudyDb;
     let dir = args
         .pos(0)
         .ok_or("usage: dhub query <store-dir> [summary|dedup|top-types|layer-percentiles]")?;
     let question = args.pos(1).unwrap_or("summary");
-    let db = StudyDb::load(&std::path::Path::new(dir).join("db"))?;
+    let db = match StudyDb::load(&std::path::Path::new(dir).join("db")) {
+        Ok(db) => db,
+        Err(e) => {
+            // Mid-ingest store: no tables, but recipes are durable.
+            if std::path::Path::new(dir).join("layers").is_dir() {
+                return query_replayed(args, out, dir, question);
+            }
+            return Err(e.into());
+        }
+    };
     match question {
         "summary" => {
             for row in db.summary() {
@@ -524,6 +652,85 @@ fn cmd_query(args: &Parsed, out: &mut impl Write) -> CmdResult {
             writeln!(out, "{:<4} {:>14}", "pct", "layer bytes")?;
             for (p, v) in db.layer_size_percentiles() {
                 writeln!(out, "{p:<4} {v:>14}")?;
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown question {other:?} (try summary, dedup, top-types, layer-percentiles)"
+            )
+            .into())
+        }
+    }
+    Ok(())
+}
+
+/// `dhub query` over a store directory with no `db/` tables yet: replays
+/// the published layer recipes into memory and answers the store-shaped
+/// questions from them, in the same output format the tables would use.
+/// Crawl-derived Table-1 counters exist only in the finished tables, so
+/// `summary` degrades to the dedup block with a notice.
+fn query_replayed(args: &Parsed, out: &mut impl Write, dir: &str, question: &str) -> CmdResult {
+    use dhub_dedupstore::{PersistentDedupStore, RecipeEntryKind};
+    use dhub_persist::Publisher;
+
+    let store = PersistentDedupStore::open(dir, Publisher::new())?;
+    let mem = store.mem();
+    let st = mem.stats();
+    writeln!(out, "no study tables under {dir}/db yet; replaying {} durable layer recipes", st.layers)?;
+    match question {
+        "summary" | "dedup" => {
+            writeln!(out, "{:20}: {}", "layers", st.layers)?;
+            writeln!(out, "{:20}: {}", "unique objects", st.unique_objects)?;
+            writeln!(out, "{:20}: {}", "physical bytes", st.physical_bytes)?;
+            writeln!(out, "{:20}: {}", "logical bytes", st.logical_bytes)?;
+            writeln!(out, "{:20}: {}", "conventional bytes", st.conventional_bytes)?;
+            writeln!(out, "{:20}: {:.6}x", "dedup factor", st.dedup_factor())?;
+        }
+        "top-types" => {
+            // Re-derive (kind, size) per file entry exactly as the
+            // analyzer recorded it: `dhub_magic::classify` over the entry
+            // path and the stored object bytes.
+            let n = args.num("top", 10usize)?;
+            let mut digests = mem.layer_digests();
+            digests.sort();
+            let mut agg: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+            for d in &digests {
+                let recipe = mem.recipe(d).expect("replayed layer has a recipe");
+                for entry in &recipe.entries {
+                    if let RecipeEntryKind::File(fd) = &entry.kind {
+                        let data =
+                            mem.object_data(fd).ok_or_else(|| format!("missing object {fd}"))?;
+                        let kind = dhub_magic::classify(&entry.path, &data);
+                        let e = agg.entry(kind.label().to_string()).or_insert((0, 0));
+                        e.0 += 1;
+                        e.1 += data.len() as u64;
+                    }
+                }
+            }
+            let mut rows: Vec<(String, u64, u64)> =
+                agg.into_iter().map(|(k, (c, b))| (k, c, b)).collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            rows.truncate(n);
+            writeln!(out, "{:<12} {:>10} {:>14}", "type", "files", "bytes")?;
+            for (label, count, bytes) in rows {
+                writeln!(out, "{label:<12} {count:>10} {bytes:>14}")?;
+            }
+        }
+        "layer-percentiles" => {
+            let mut cls: Vec<u64> = mem.layer_sizes().into_iter().map(|(_, c)| c).collect();
+            cls.sort_unstable();
+            let pick = |p: f64| -> u64 {
+                if cls.is_empty() {
+                    return 0;
+                }
+                let rank = ((p / 100.0) * cls.len() as f64).ceil() as usize;
+                cls[rank.clamp(1, cls.len()) - 1]
+            };
+            writeln!(out, "{:<4} {:>14}", "pct", "layer bytes")?;
+            for (p, v) in
+                [("p10", 10.0), ("p25", 25.0), ("p50", 50.0), ("p75", 75.0), ("p90", 90.0), ("p99", 99.0)]
+            {
+                writeln!(out, "{p:<4} {:>14}", pick(v))?;
             }
         }
         other => {
@@ -790,6 +997,81 @@ mod tests {
         assert_eq!(q1, q2, "query output diverged under write faults");
         std::fs::remove_dir_all(&clean_dir).ok();
         std::fs::remove_dir_all(&fault_dir).ok();
+    }
+
+    #[test]
+    fn work_fleet_matches_store_and_resumes_queries() {
+        let pid = std::process::id();
+        let one_dir = std::env::temp_dir().join(format!("dhub-cli-work1-{pid}"));
+        let four_dir = std::env::temp_dir().join(format!("dhub-cli-work4-{pid}"));
+        let store_dir = std::env::temp_dir().join(format!("dhub-cli-works-{pid}"));
+        for d in [&one_dir, &four_dir, &store_dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+        let base = ["work", "--repos", "20", "--seed", "5", "--scale", "1024"];
+        let mut argv = base.to_vec();
+        argv.extend(["--store-dir", one_dir.to_str().unwrap(), "--workers", "1"]);
+        let (code, one) = run_cmd(&argv);
+        assert_eq!(code, 0, "{one}");
+        let mut argv = base.to_vec();
+        argv.extend(["--store-dir", four_dir.to_str().unwrap(), "--workers", "4"]);
+        let (code, four) = run_cmd(&argv);
+        assert_eq!(code, 0, "{four}");
+        assert_eq!(stat_lines(&one), stat_lines(&four), "worker count changed the store");
+
+        // The plain store pipeline lands on the same stats block…
+        let (code, plain) = run_cmd(&[
+            "store", "--repos", "20", "--seed", "5", "--scale", "1024", "--threads", "2",
+            "--store-dir", store_dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{plain}");
+        assert_eq!(stat_lines(&plain), stat_lines(&four), "queued run diverged from store");
+
+        // …and every query answers byte-identically across worker counts.
+        for q in ["summary", "dedup", "top-types", "layer-percentiles"] {
+            let (c1, q1) = run_cmd(&["query", one_dir.to_str().unwrap(), q]);
+            let (c4, q4) = run_cmd(&["query", four_dir.to_str().unwrap(), q]);
+            assert_eq!((c1, c4), (0, 0), "{q1}\n{q4}");
+            assert_eq!(q1, q4, "query {q} diverged across worker counts");
+        }
+        for d in [&one_dir, &four_dir, &store_dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
+    fn query_mid_ingest_store_answers_from_recipes() {
+        // A store with durable recipes but no study tables (fleet killed
+        // before the checkpoint) still answers store-shaped questions.
+        let dir = std::env::temp_dir().join(format!("dhub-cli-midq-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (code, out) = run_cmd(&[
+            "store", "--repos", "15", "--seed", "3", "--scale", "1024", "--threads", "2",
+            "--store-dir", dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let (_, full_dedup) = run_cmd(&["query", dir.to_str().unwrap(), "dedup"]);
+        let (_, full_pcts) = run_cmd(&["query", dir.to_str().unwrap(), "layer-percentiles"]);
+        let (_, full_types) = run_cmd(&["query", dir.to_str().unwrap(), "top-types"]);
+
+        // Simulate the kill: tables gone, recipes still durable.
+        std::fs::remove_dir_all(dir.join("db")).unwrap();
+        let tail = |s: &str, n: usize| {
+            let lines: Vec<&str> = s.lines().collect();
+            lines[lines.len().saturating_sub(n)..].join("\n")
+        };
+        let (code, q) = run_cmd(&["query", dir.to_str().unwrap(), "dedup"]);
+        assert_eq!(code, 0, "{q}");
+        assert!(q.contains("no study tables"), "{q}");
+        assert_eq!(tail(&q, 6), tail(&full_dedup, 6), "replayed dedup answers diverged");
+        let (code, q) = run_cmd(&["query", dir.to_str().unwrap(), "layer-percentiles"]);
+        assert_eq!(code, 0, "{q}");
+        assert_eq!(tail(&q, 7), tail(&full_pcts, 7), "replayed percentiles diverged");
+        let (code, q) = run_cmd(&["query", dir.to_str().unwrap(), "top-types"]);
+        assert_eq!(code, 0, "{q}");
+        assert_eq!(tail(&q, full_types.lines().count()), full_types.trim_end(),
+            "replayed top-types diverged");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -60,6 +60,60 @@ pub fn crawl(search: &SearchIndex, known_official: &[RepoName]) -> CrawlResult {
 const SEARCH_FAULTS: [FaultKind; 4] =
     [FaultKind::Drop, FaultKind::RateLimit, FaultKind::ServerError, FaultKind::SlowLink];
 
+/// What fetching one search page did: the parsed page (or `None` after
+/// the retry budget ran out) plus the retry accounting the caller folds
+/// into its counters.
+pub struct PageFetch {
+    pub parsed: Option<ParsedPage>,
+    pub retries: u32,
+    pub backoff: Duration,
+}
+
+/// Fetches and parses one search-results page under the crawl's fault
+/// model: each attempt consults `faults` (op [`FaultOp::Search`], keyed
+/// by the page number), slow links stall and proceed, and transient
+/// failures back off under `policy`. This is the single per-page fetch
+/// path — the sequential [`crawl_obs`] loop and the queue's distributed
+/// page jobs both go through it, so their fault streams are identical.
+pub fn fetch_search_page(
+    search: &SearchIndex,
+    page: usize,
+    faults: Option<&FaultInjector>,
+    policy: &RetryPolicy,
+) -> PageFetch {
+    let key = fault_key(format!("search:{page}").as_bytes());
+    let mut retries = 0u32;
+    let mut backoff = Duration::ZERO;
+    let mut attempt = 0u32;
+    let parsed = loop {
+        let fault = faults.and_then(|inj| {
+            match inj.decide(FaultOp::Search, key, &SEARCH_FAULTS) {
+                Some(FaultKind::SlowLink) => {
+                    // Stalled, not failed: wait it out and proceed.
+                    std::thread::sleep(inj.slow_link());
+                    None
+                }
+                f => f,
+            }
+        });
+        match fault {
+            None => {
+                let result = search.search("/", page);
+                break Some(
+                    parse_results_page(&result.html).expect("hub returned malformed page"),
+                );
+            }
+            Some(_) if attempt < policy.max_retries => {
+                retries += 1;
+                backoff += policy.sleep(key, attempt);
+                attempt += 1;
+            }
+            Some(_) => break None,
+        }
+    };
+    PageFetch { parsed, retries, backoff }
+}
+
 /// [`crawl`] against a faulty search front-end: each page fetch consults
 /// `faults` first, and transient failures back off and retry under
 /// `policy`. A page whose budget runs out is abandoned (its rows go
@@ -128,42 +182,21 @@ pub fn crawl_obs(
     let mut total_pages: Option<usize> = None;
     loop {
         let _page_span = dhub_obs::span!(obs, "crawl_page", page);
-        let key = fault_key(format!("search:{page}").as_bytes());
-        let mut attempt = 0u32;
-        let result = loop {
-            let fault = faults.and_then(|inj| {
-                match inj.decide(FaultOp::Search, key, &SEARCH_FAULTS) {
-                    Some(FaultKind::SlowLink) => {
-                        // Stalled, not failed: wait it out and proceed.
-                        std::thread::sleep(inj.slow_link());
-                        None
+        let fetch = fetch_search_page(search, page, faults, policy);
+        c.page_retries.add(fetch.retries as u64);
+        c.backoff_ns.add(fetch.backoff.as_nanos() as u64);
+        match fetch.parsed {
+            Some(parsed) => {
+                c.pages_fetched.inc();
+                c.raw_results.add(parsed.repos.len() as u64);
+                for name in parsed.repos {
+                    if !seen.insert(name) {
+                        c.dedup_hits.inc();
                     }
-                    f => f,
                 }
-            });
-            match fault {
-                None => break Some(search.search("/", page)),
-                Some(_) if attempt < policy.max_retries => {
-                    c.page_retries.inc();
-                    c.backoff_ns.add(policy.sleep(key, attempt).as_nanos() as u64);
-                    attempt += 1;
-                }
-                Some(_) => {
-                    c.pages_gave_up.inc();
-                    break None;
-                }
+                total_pages = Some(parsed.info.total_pages);
             }
-        };
-        if let Some(result) = result {
-            c.pages_fetched.inc();
-            let parsed = parse_results_page(&result.html).expect("hub returned malformed page");
-            c.raw_results.add(parsed.repos.len() as u64);
-            for name in parsed.repos {
-                if !seen.insert(name) {
-                    c.dedup_hits.inc();
-                }
-            }
-            total_pages = Some(parsed.info.total_pages);
+            None => c.pages_gave_up.inc(),
         }
         page += 1;
         match total_pages {

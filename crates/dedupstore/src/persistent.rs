@@ -234,13 +234,15 @@ impl PersistentDedupStore {
         if self.mem.contains_layer(&layer_digest) {
             return Err(StoreError::AlreadyIngested.into());
         }
-        for p in &pending {
-            if let Some((digest, data)) = &p.file {
-                if !self.mem.has_object(digest) {
-                    self.objects.put_at(digest, data)?;
-                }
-            }
-        }
+        // One batched publish for the layer's new objects: a single fanout
+        // dir fsync per touched shard instead of one per object.
+        let new_objects: Vec<(Digest, &[u8])> = pending
+            .iter()
+            .filter_map(|p| p.file.as_ref())
+            .filter(|(digest, _)| !self.mem.has_object(digest))
+            .map(|(digest, data)| (*digest, *data))
+            .collect();
+        self.objects.put_batch(&new_objects)?;
         let recipe = LayerRecipe {
             layer_digest,
             entries: pending.iter().map(|p| p.meta.clone()).collect(),

@@ -164,6 +164,10 @@ impl<'a> PendingEntry<'a> {
 pub struct DedupStore {
     objects: RwLock<FxHashMap<Digest, ObjectEntry>>,
     recipes: RwLock<FxHashMap<Digest, Arc<LayerRecipe>>>,
+    /// Compressed (conventional) size of each ingested layer, so a store
+    /// rebuilt from recipes alone can still answer size-distribution
+    /// queries without the original blobs.
+    layer_cls: RwLock<FxHashMap<Digest, u64>>,
     counters: RwLock<StoreStats>,
     metrics: StoreMetrics,
 }
@@ -248,6 +252,7 @@ impl DedupStore {
         }
         let recipe = LayerRecipe { layer_digest, entries: recipe_entries };
         self.recipes.write().insert(layer_digest, Arc::new(recipe));
+        self.layer_cls.write().insert(layer_digest, blob_len);
 
         let mut c = self.counters.write();
         c.layers += 1;
@@ -313,6 +318,7 @@ impl DedupStore {
         }
         let recipe = LayerRecipe { layer_digest, entries: recipe_entries };
         self.recipes.write().insert(layer_digest, Arc::new(recipe));
+        self.layer_cls.write().insert(layer_digest, blob.len() as u64);
 
         let mut c = self.counters.write();
         c.layers += 1;
@@ -373,9 +379,25 @@ impl DedupStore {
         self.objects.read().contains_key(digest)
     }
 
+    /// The content bytes of one stored object, if present. Recipe walkers
+    /// (e.g. `dhub query` answering from a replayed store) pair this with
+    /// [`DedupStore::recipe`] to re-derive per-file facts.
+    pub fn object_data(&self, digest: &Digest) -> Option<Arc<Vec<u8>>> {
+        self.objects.read().get(digest).map(|o| o.data.clone())
+    }
+
     /// Digests of every ingested layer (unordered).
     pub fn layer_digests(&self) -> Vec<Digest> {
         self.recipes.read().keys().copied().collect()
+    }
+
+    /// `(layer digest, compressed size)` for every ingested layer, sorted
+    /// by digest. Lets a store replayed from recipes alone (no study
+    /// checkpoint) answer layer-size distribution queries.
+    pub fn layer_sizes(&self) -> Vec<(Digest, u64)> {
+        let mut v: Vec<(Digest, u64)> = self.layer_cls.read().iter().map(|(d, c)| (*d, *c)).collect();
+        v.sort_by_key(|(d, _)| *d);
+        v
     }
 
     /// `(content digest, reference count)` for every live object
@@ -388,6 +410,7 @@ impl DedupStore {
     /// garbage-collects objects that reached zero. Returns reclaimed bytes.
     pub fn remove_layer(&self, layer_digest: &Digest) -> Result<u64, StoreError> {
         let recipe = self.recipes.write().remove(layer_digest).ok_or(StoreError::UnknownLayer)?;
+        self.layer_cls.write().remove(layer_digest);
         let mut objects = self.objects.write();
         let mut reclaimed = 0u64;
         let mut logical_removed = 0u64;

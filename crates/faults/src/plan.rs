@@ -82,11 +82,21 @@ pub enum FaultOp {
     /// publish). Faults here model crashes mid-write: torn or bit-flipped
     /// in-flight temp files that never reach their final name.
     Persist,
+    /// A queue worker holding a job lease. Faults here model the worker
+    /// dying mid-job ([`FaultKind::Drop`]: the lease expires, the job is
+    /// requeued and retried by someone else).
+    Lease,
 }
 
 /// All ops, in a fixed order used for stats indexing and rate config.
-pub const ALL_FAULT_OPS: [FaultOp; 5] =
-    [FaultOp::Manifest, FaultOp::Blob, FaultOp::Token, FaultOp::Search, FaultOp::Persist];
+pub const ALL_FAULT_OPS: [FaultOp; 6] = [
+    FaultOp::Manifest,
+    FaultOp::Blob,
+    FaultOp::Token,
+    FaultOp::Search,
+    FaultOp::Persist,
+    FaultOp::Lease,
+];
 
 impl FaultOp {
     fn index(self) -> usize {
@@ -96,6 +106,7 @@ impl FaultOp {
             FaultOp::Token => 2,
             FaultOp::Search => 3,
             FaultOp::Persist => 4,
+            FaultOp::Lease => 5,
         }
     }
 
@@ -107,6 +118,7 @@ impl FaultOp {
             FaultOp::Token => "token",
             FaultOp::Search => "search",
             FaultOp::Persist => "persist",
+            FaultOp::Lease => "lease",
         }
     }
 }
@@ -119,7 +131,7 @@ pub struct FaultConfig {
     pub seed: u64,
     /// Per-op probability (0..=1) that one attempt faults, indexed like
     /// [`ALL_FAULT_OPS`].
-    pub rates: [f64; 5],
+    pub rates: [f64; 6],
     /// Relative weight of each kind when a fault fires, indexed like
     /// [`ALL_FAULT_KINDS`]. A zero weight disables the kind.
     pub weights: [u32; 7],
@@ -132,7 +144,7 @@ impl FaultConfig {
     pub fn uniform(seed: u64, rate: f64) -> FaultConfig {
         FaultConfig {
             seed,
-            rates: [rate; 5],
+            rates: [rate; 6],
             // Transport errors dominate real crawls; corruption is rarer.
             weights: [3, 3, 3, 1, 1, 2, 2],
             slow_link: Duration::from_millis(1),
@@ -257,7 +269,7 @@ pub struct FaultStats {
     /// Fired faults per kind, indexed like [`ALL_FAULT_KINDS`].
     pub by_kind: [u64; 7],
     /// Fired faults per op, indexed like [`ALL_FAULT_OPS`].
-    pub by_op: [u64; 5],
+    pub by_op: [u64; 6],
 }
 
 impl FaultStats {
@@ -289,7 +301,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     attempts: Mutex<HashMap<(u8, u64), u32>>,
     by_kind: [AtomicU64; 7],
-    by_op: [AtomicU64; 5],
+    by_op: [AtomicU64; 6],
 }
 
 impl FaultInjector {

@@ -176,6 +176,43 @@ impl Publisher {
             }
         }
     }
+
+    /// Publishes a batch of files with one parent-directory fsync per
+    /// distinct parent instead of one per file: every temp is written and
+    /// fsynced, every rename lands, then each parent is fsynced once. The
+    /// crash contract is the same as issuing the publishes one by one —
+    /// a crash mid-batch leaves any prefix of published files plus
+    /// invisible `*.tmp` debris — because a file's durability still
+    /// requires its own fsync plus the (now shared) parent fsync, both of
+    /// which complete before `publish_batch` returns.
+    ///
+    /// Under fault injection this falls back to per-file [`Publisher::publish`]
+    /// so the per-file-name crash/retry streams are byte-for-byte the ones
+    /// the chaos suite replays.
+    pub fn publish_batch(&self, items: &[(PathBuf, &[u8])]) -> Result<(), PersistError> {
+        if self.faults.is_some() {
+            for (path, data) in items {
+                self.publish(path, data)?;
+            }
+            return Ok(());
+        }
+        for (path, data) in items {
+            let tmp = tmp_path(path);
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        let mut parents = std::collections::BTreeSet::new();
+        for (path, _) in items {
+            std::fs::rename(tmp_path(path), path)?;
+            parents.insert(path.parent().expect("publish path has a parent directory"));
+        }
+        for parent in parents {
+            fsync_dir(parent)?;
+        }
+        self.metrics.publishes.add(items.len() as u64);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

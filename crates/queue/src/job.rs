@@ -1,0 +1,140 @@
+//! Job specs and their durable JSON envelopes.
+
+use dhub_json::Json;
+use dhub_model::Digest;
+
+/// One unit of pipeline work: a stable id (`"page:3"`, `"image:library/
+/// nginx"`, `"layer:<hex>"`), a kind tag the executor dispatches on, and
+/// an opaque payload (usually JSON text) carrying the parameters.
+///
+/// The id is the job's identity everywhere: it names the on-disk
+/// envelope, keys the fault stream, and seeds the deterministic lease
+/// schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    pub id: String,
+    pub kind: String,
+    pub payload: String,
+}
+
+impl JobSpec {
+    /// A job with an empty payload.
+    pub fn new(id: impl Into<String>, kind: impl Into<String>) -> JobSpec {
+        JobSpec { id: id.into(), kind: kind.into(), payload: String::new() }
+    }
+
+    /// A job carrying a parameter payload.
+    pub fn with_payload(
+        id: impl Into<String>,
+        kind: impl Into<String>,
+        payload: impl Into<String>,
+    ) -> JobSpec {
+        JobSpec { id: id.into(), kind: kind.into(), payload: payload.into() }
+    }
+
+    /// The content-derived file stem the job's envelopes live under: ids
+    /// contain `/` and `:`, so durable names use the hex digest of the id.
+    pub fn file_stem(id: &str) -> String {
+        dhub_persist::hex_of(&Digest::of(id.as_bytes()))
+    }
+
+    /// Serializes the durable job envelope (checksummed against the
+    /// payload so torn seeds are caught on reload).
+    pub fn to_envelope(&self) -> String {
+        let mut root = Json::obj();
+        root.set("schema", JOB_SCHEMA);
+        root.set("id", self.id.as_str());
+        root.set("kind", self.kind.as_str());
+        root.set("payload", self.payload.as_str());
+        root.set("checksum", Digest::of(self.payload.as_bytes()).to_docker_string());
+        root.to_string()
+    }
+
+    /// Parses and validates a durable job envelope.
+    pub fn from_envelope(text: &str) -> Option<JobSpec> {
+        let j = dhub_json::parse(text).ok()?;
+        if j.get("schema")?.as_str()? != JOB_SCHEMA {
+            return None;
+        }
+        let payload = j.get("payload")?.as_str()?.to_string();
+        if Digest::parse(j.get("checksum")?.as_str()?)? != Digest::of(payload.as_bytes()) {
+            return None;
+        }
+        Some(JobSpec {
+            id: j.get("id")?.as_str()?.to_string(),
+            kind: j.get("kind")?.as_str()?.to_string(),
+            payload,
+        })
+    }
+}
+
+const JOB_SCHEMA: &str = "dhub-queue-job-v1";
+const RESULT_SCHEMA: &str = "dhub-queue-result-v1";
+
+/// Serializes a result record: content-addressed by checksum over the
+/// payload, self-describing via the job id.
+pub fn result_envelope(id: &str, payload: &str) -> String {
+    let mut root = Json::obj();
+    root.set("schema", RESULT_SCHEMA);
+    root.set("id", id);
+    root.set("payload", payload);
+    root.set("checksum", Digest::of(payload.as_bytes()).to_docker_string());
+    root.to_string()
+}
+
+/// Parses a result record back to `(job id, payload)`.
+pub fn parse_result_envelope(text: &str) -> Option<(String, String)> {
+    let j = dhub_json::parse(text).ok()?;
+    if j.get("schema")?.as_str()? != RESULT_SCHEMA {
+        return None;
+    }
+    let payload = j.get("payload")?.as_str()?.to_string();
+    if Digest::parse(j.get("checksum")?.as_str()?)? != Digest::of(payload.as_bytes()) {
+        return None;
+    }
+    Some((j.get("id")?.as_str()?.to_string(), payload))
+}
+
+/// Where one job stands, as recovered from disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Seeded, no result record yet.
+    Pending,
+    /// A result record exists.
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_envelope_roundtrip() {
+        let spec = JobSpec::with_payload("image:library/nginx", "image", "{\"tag\":\"latest\"}");
+        let parsed = JobSpec::from_envelope(&spec.to_envelope()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn tampered_payload_fails_checksum() {
+        let spec = JobSpec::with_payload("page:0", "page", "abc");
+        let text = spec.to_envelope().replace("abc", "abd");
+        assert!(JobSpec::from_envelope(&text).is_none());
+    }
+
+    #[test]
+    fn result_envelope_roundtrip() {
+        let text = result_envelope("layer:ab12", "profile-bytes");
+        assert_eq!(
+            parse_result_envelope(&text).unwrap(),
+            ("layer:ab12".to_string(), "profile-bytes".to_string())
+        );
+    }
+
+    #[test]
+    fn file_stem_is_stable_and_path_safe() {
+        let stem = JobSpec::file_stem("image:library/nginx");
+        assert_eq!(stem, JobSpec::file_stem("image:library/nginx"));
+        assert!(stem.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,303 @@
+//! The lease state machine: a pure, logical-clock scheduler over job
+//! states pending → leased → done, with expiry requeue and poison
+//! quarantine.
+//!
+//! No I/O and no wall clock live here. Time advances only through
+//! [`LeaseManager::tick`], lease durations are a pure function of
+//! `(seed, job-id)` (see [`LeaseConfig::lease_ticks`]), and jobs are
+//! claimed in sorted id order — so the full event stream is replayable
+//! from the config plus the operation sequence, which is exactly what
+//! the property suite asserts.
+
+use dhub_faults::fault_key;
+use std::collections::BTreeMap;
+
+/// Lease scheduling parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaseConfig {
+    /// Seed the per-job lease durations derive from.
+    pub seed: u64,
+    /// Minimum lease duration in ticks.
+    pub base_ticks: u64,
+    /// Per-job deterministic extra duration in `0..spread_ticks`.
+    pub spread_ticks: u64,
+    /// Expiries after which a job is quarantined as poison.
+    pub max_expiries: u32,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> LeaseConfig {
+        LeaseConfig { seed: 0, base_ticks: 32, spread_ticks: 32, max_expiries: 4 }
+    }
+}
+
+impl LeaseConfig {
+    /// The lease duration for one job: `base + h(seed, id) % spread`,
+    /// replayable from `(seed, job-id)` alone.
+    pub fn lease_ticks(&self, job_id: &str) -> u64 {
+        let spread = self.spread_ticks.max(1);
+        self.base_ticks + fault_key(job_id.as_bytes()).wrapping_add(self.seed) % spread
+    }
+}
+
+/// Where one job stands in the lease machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Waiting to be claimed.
+    Pending,
+    /// Claimed by `holder`; the lease lapses once the clock passes
+    /// `expires_at`.
+    Leased { holder: u64, expires_at: u64 },
+    /// A result was committed.
+    Done,
+    /// Expired too many times — poison, never claimable again.
+    Quarantined,
+}
+
+/// One observable transition, in the order it happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeaseEvent {
+    Granted { job: String, holder: u64, expires_at: u64 },
+    Expired { job: String, expiries: u32 },
+    Quarantined { job: String },
+    Completed { job: String },
+}
+
+#[derive(Clone, Debug)]
+struct JobSlot {
+    state: LeaseState,
+    expiries: u32,
+}
+
+/// The in-memory lease coordinator a worker fleet shares.
+#[derive(Clone, Debug)]
+pub struct LeaseManager {
+    config: LeaseConfig,
+    now: u64,
+    jobs: BTreeMap<String, JobSlot>,
+}
+
+impl LeaseManager {
+    /// An empty manager over `config` at logical time zero.
+    pub fn new(config: LeaseConfig) -> LeaseManager {
+        LeaseManager { config, now: 0, jobs: BTreeMap::new() }
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The scheduling parameters.
+    pub fn config(&self) -> &LeaseConfig {
+        &self.config
+    }
+
+    /// Registers a job as pending. Idempotent: re-inserting an existing
+    /// job (any state) is a no-op.
+    pub fn insert(&mut self, job_id: &str) {
+        self.jobs
+            .entry(job_id.to_string())
+            .or_insert(JobSlot { state: LeaseState::Pending, expiries: 0 });
+    }
+
+    /// Registers a job already completed in an earlier run (resume path).
+    pub fn insert_done(&mut self, job_id: &str) {
+        let slot = self
+            .jobs
+            .entry(job_id.to_string())
+            .or_insert(JobSlot { state: LeaseState::Done, expiries: 0 });
+        slot.state = LeaseState::Done;
+    }
+
+    /// One job's state.
+    pub fn state(&self, job_id: &str) -> Option<LeaseState> {
+        self.jobs.get(job_id).map(|s| s.state)
+    }
+
+    /// Grants the first pending job (sorted id order) to `holder`.
+    pub fn claim(&mut self, holder: u64) -> Option<(String, LeaseEvent)> {
+        let id = self
+            .jobs
+            .iter()
+            .find(|(_, slot)| slot.state == LeaseState::Pending)
+            .map(|(id, _)| id.clone())?;
+        let expires_at = self.now + self.config.lease_ticks(&id);
+        self.jobs.get_mut(&id).expect("job exists").state =
+            LeaseState::Leased { holder, expires_at };
+        let ev = LeaseEvent::Granted { job: id.clone(), holder, expires_at };
+        Some((id, ev))
+    }
+
+    /// Extends a live lease held by `holder` to a fresh full duration
+    /// from now (the in-process heartbeat: the runtime renews leases of
+    /// workers it knows are alive, so only abandoned jobs ever expire).
+    pub fn renew(&mut self, job_id: &str, holder: u64) {
+        if let Some(slot) = self.jobs.get_mut(job_id) {
+            if let LeaseState::Leased { holder: h, .. } = slot.state {
+                if h == holder {
+                    let expires_at = self.now + self.config.lease_ticks(job_id);
+                    slot.state = LeaseState::Leased { holder, expires_at };
+                }
+            }
+        }
+    }
+
+    /// Marks a job done (a result exists). Terminal; idempotent.
+    pub fn complete(&mut self, job_id: &str) -> Option<LeaseEvent> {
+        let slot = self.jobs.get_mut(job_id)?;
+        if slot.state == LeaseState::Done {
+            return None;
+        }
+        slot.state = LeaseState::Done;
+        Some(LeaseEvent::Completed { job: job_id.to_string() })
+    }
+
+    /// Advances the logical clock one tick, expiring lapsed leases: each
+    /// expiry requeues the job exactly once (leased → pending), or
+    /// quarantines it once it has burned `max_expiries` leases.
+    pub fn tick(&mut self) -> Vec<LeaseEvent> {
+        self.now += 1;
+        let mut events = Vec::new();
+        for (id, slot) in self.jobs.iter_mut() {
+            let LeaseState::Leased { expires_at, .. } = slot.state else { continue };
+            if expires_at > self.now {
+                continue;
+            }
+            slot.expiries += 1;
+            events.push(LeaseEvent::Expired { job: id.clone(), expiries: slot.expiries });
+            if slot.expiries >= self.config.max_expiries {
+                slot.state = LeaseState::Quarantined;
+                events.push(LeaseEvent::Quarantined { job: id.clone() });
+            } else {
+                slot.state = LeaseState::Pending;
+            }
+        }
+        events
+    }
+
+    /// Counts of jobs per state: `(pending, leased, done, quarantined)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for slot in self.jobs.values() {
+            match slot.state {
+                LeaseState::Pending => c.0 += 1,
+                LeaseState::Leased { .. } => c.1 += 1,
+                LeaseState::Done => c.2 += 1,
+                LeaseState::Quarantined => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Ids of quarantined jobs, sorted.
+    pub fn quarantined(&self) -> Vec<String> {
+        self.jobs
+            .iter()
+            .filter(|(_, s)| s.state == LeaseState::Quarantined)
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// True when nothing is pending or leased — every job is done or
+    /// quarantined.
+    pub fn is_drained(&self) -> bool {
+        let (pending, leased, _, _) = self.counts();
+        pending == 0 && leased == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(max_expiries: u32) -> LeaseManager {
+        LeaseManager::new(LeaseConfig {
+            seed: 7,
+            base_ticks: 4,
+            spread_ticks: 4,
+            max_expiries,
+        })
+    }
+
+    #[test]
+    fn claim_grants_in_sorted_order() {
+        let mut m = mgr(3);
+        m.insert("b");
+        m.insert("a");
+        m.insert("c");
+        let (first, _) = m.claim(0).unwrap();
+        let (second, _) = m.claim(1).unwrap();
+        assert_eq!((first.as_str(), second.as_str()), ("a", "b"));
+        assert!(matches!(m.state("a"), Some(LeaseState::Leased { holder: 0, .. })));
+    }
+
+    #[test]
+    fn expiry_requeues_then_quarantines() {
+        let mut m = mgr(2);
+        m.insert("job");
+        let (_, _) = m.claim(0).unwrap();
+        // Burn lease 1.
+        let mut expired = false;
+        for _ in 0..16 {
+            for ev in m.tick() {
+                if matches!(ev, LeaseEvent::Expired { .. }) {
+                    expired = true;
+                }
+            }
+            if expired {
+                break;
+            }
+        }
+        assert!(expired);
+        assert_eq!(m.state("job"), Some(LeaseState::Pending));
+        // Burn lease 2 → quarantine.
+        m.claim(1).unwrap();
+        let mut quarantined = false;
+        for _ in 0..16 {
+            if m.tick().iter().any(|e| matches!(e, LeaseEvent::Quarantined { .. })) {
+                quarantined = true;
+                break;
+            }
+        }
+        assert!(quarantined);
+        assert_eq!(m.state("job"), Some(LeaseState::Quarantined));
+        assert!(m.claim(2).is_none(), "quarantined jobs are never claimable");
+        assert!(m.is_drained());
+    }
+
+    #[test]
+    fn renew_keeps_live_lease_from_expiring() {
+        let mut m = mgr(2);
+        m.insert("job");
+        m.claim(0).unwrap();
+        for _ in 0..64 {
+            m.renew("job", 0);
+            assert!(m.tick().is_empty(), "renewed lease must not expire");
+        }
+        assert!(matches!(m.state("job"), Some(LeaseState::Leased { .. })));
+    }
+
+    #[test]
+    fn lease_ticks_replayable_from_seed_and_id() {
+        let a = LeaseConfig { seed: 9, base_ticks: 8, spread_ticks: 16, max_expiries: 3 };
+        let b = a;
+        for id in ["page:0", "image:library/nginx", "layer:ab12"] {
+            assert_eq!(a.lease_ticks(id), b.lease_ticks(id));
+            assert!(a.lease_ticks(id) >= 8 && a.lease_ticks(id) < 24);
+        }
+    }
+
+    #[test]
+    fn complete_is_terminal_and_idempotent() {
+        let mut m = mgr(3);
+        m.insert("job");
+        m.claim(0).unwrap();
+        assert!(m.complete("job").is_some());
+        assert!(m.complete("job").is_none());
+        for _ in 0..32 {
+            assert!(m.tick().is_empty(), "done jobs never expire");
+        }
+        assert!(m.is_drained());
+    }
+}

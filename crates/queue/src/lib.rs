@@ -1,0 +1,89 @@
+//! Durable lease-based job coordination for the crawl → download →
+//! analyze pipeline.
+//!
+//! The subsystem splits into three layers, each useful on its own:
+//!
+//! - [`LeaseManager`] (`lease`): a *pure* logical-clock state machine over
+//!   job states pending → leased → done, with deterministic per-job lease
+//!   durations derived from `(seed, job-id)`, lease-expiry requeue, and
+//!   poison-job quarantine after a bounded number of expiries. No I/O, no
+//!   wall clock — every transition is replayable, which is what the
+//!   property suite leans on.
+//! - [`DurableQueue`] (`durable`): the on-disk truth. Jobs and their
+//!   results are content-checksummed JSON envelopes published through the
+//!   `dhub-persist` atomic-publish discipline under
+//!   `<root>/queue/{jobs,results}/`; claim markers under `claims/` give
+//!   cross-process mutual exclusion. A killed worker fleet loses nothing:
+//!   reopening the queue rediscovers every seeded job and every committed
+//!   result, and sweeps stale claims from dead processes.
+//! - [`run_workers`] (`worker`): the in-process fleet. N workers claim
+//!   jobs through a shared lease manager, execute them via a caller
+//!   -supplied executor, durably seed any jobs the execution *expands*
+//!   into (children land on disk before the parent's result, so a crash
+//!   can never orphan an expansion), and commit results exactly once.
+//!   [`FaultOp::Lease`](dhub_faults::FaultOp) injection models a worker
+//!   dying right after claiming: the job's lease expires and someone else
+//!   retries it.
+//!
+//! Determinism argument (why worker count and kills cannot change the
+//! study): a job's *result* is a pure function of its spec — executors
+//! carry their own seeded fault/retry streams keyed by logical resource,
+//! not by worker or time — and results are committed at most once.
+//! Whoever wins the claim race computes the same bytes; the orchestrator
+//! assembles from the result set (sorted by job id), never from
+//! execution order.
+
+pub mod durable;
+pub mod job;
+pub mod lease;
+pub mod worker;
+
+pub use durable::{ClaimOutcome, CommitOutcome, DurableQueue, QueueMetrics};
+pub use job::{JobSpec, JobStatus};
+pub use lease::{LeaseConfig, LeaseEvent, LeaseManager, LeaseState};
+pub use worker::{run_workers, JobOutcome, RunReport, WorkerConfig};
+
+use std::path::PathBuf;
+
+/// Errors from the queue tier.
+#[derive(Debug)]
+pub enum QueueError {
+    /// A durable write failed (or exhausted its crash-retry budget).
+    Persist(dhub_persist::PersistError),
+    /// Filesystem trouble outside the publish path.
+    Io(std::io::Error),
+    /// An envelope on disk failed its schema or checksum validation.
+    Corrupt(PathBuf),
+    /// The run drained but these jobs were quarantined as poison.
+    Quarantined(Vec<String>),
+    /// The worker fleet was killed before the queue drained.
+    Killed,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::Persist(e) => write!(f, "queue persist: {e}"),
+            QueueError::Io(e) => write!(f, "queue io: {e}"),
+            QueueError::Corrupt(p) => write!(f, "corrupt queue envelope: {}", p.display()),
+            QueueError::Quarantined(ids) => {
+                write!(f, "{} job(s) quarantined as poison: {}", ids.len(), ids.join(", "))
+            }
+            QueueError::Killed => write!(f, "worker fleet killed before the queue drained"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+impl From<dhub_persist::PersistError> for QueueError {
+    fn from(e: dhub_persist::PersistError) -> Self {
+        QueueError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for QueueError {
+    fn from(e: std::io::Error) -> Self {
+        QueueError::Io(e)
+    }
+}

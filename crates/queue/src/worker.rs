@@ -1,0 +1,417 @@
+//! The in-process worker fleet: N workers sharing one lease manager and
+//! one durable queue, claiming jobs concurrently and committing results
+//! exactly once.
+//!
+//! Execution contract: the caller's executor maps a [`JobSpec`] to a
+//! result payload plus any *expansion* jobs the work discovered (a crawl
+//! page expands into more pages, an image into its layers). Expansions
+//! are durably seeded **before** the parent's result is committed, so a
+//! crash can never record a parent as done while its children are lost.
+//!
+//! Failure model:
+//! - [`FaultOp::Lease`] fires at claim time → the worker "dies" holding
+//!   the lease: no execution, no commit. The lease expires, the job is
+//!   requeued, and quarantined as poison after `max_expiries` burns.
+//! - Executor errors behave the same way (abandon, expire, retry) —
+//!   transient infrastructure trouble is retried at queue level with the
+//!   attempt budget the lease machine enforces.
+//! - A commit budget ([`WorkerConfig::max_commits`]) models `kill -9` of
+//!   the whole fleet mid-run for the resume tests: workers stop dead,
+//!   leases and claims are simply abandoned.
+//!
+//! Idle workers drive the logical clock: each fruitless claim attempt
+//! ticks the lease manager once and renews the leases of jobs that are
+//! actively executing in this process (the in-process heartbeat), so
+//! only abandoned jobs ever expire.
+
+use crate::durable::{ClaimOutcome, CommitOutcome, DurableQueue};
+use crate::job::{JobSpec, JobStatus};
+use crate::lease::{LeaseConfig, LeaseEvent, LeaseManager};
+use crate::QueueError;
+use dhub_faults::{fault_key, FaultInjector, FaultKind, FaultOp};
+use dhub_sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What one executed job produced.
+pub struct JobOutcome {
+    /// The result payload committed for this job.
+    pub payload: String,
+    /// Jobs this execution expands into (seeded durably before the
+    /// parent's commit; already-seeded ids are no-ops).
+    pub new_jobs: Vec<JobSpec>,
+}
+
+/// Fleet parameters.
+#[derive(Clone)]
+pub struct WorkerConfig {
+    /// Worker thread count (min 1).
+    pub workers: usize,
+    /// Lease scheduling parameters.
+    pub lease: LeaseConfig,
+    /// Stop the whole fleet dead after this many commits (kill harness).
+    pub max_commits: Option<u64>,
+    /// Lease-fault injection: a fired [`FaultOp::Lease`] kills the
+    /// claiming worker for that job attempt.
+    pub faults: Option<Arc<FaultInjector>>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> WorkerConfig {
+        WorkerConfig { workers: 1, lease: LeaseConfig::default(), max_commits: None, faults: None }
+    }
+}
+
+/// What a fleet run did.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Results committed by this run (resumed jobs excluded).
+    pub committed: u64,
+    /// Jobs found already done at start (resume path).
+    pub resumed: u64,
+    /// Lease expiries observed.
+    pub expiries: u64,
+    /// Jobs quarantined as poison, sorted.
+    pub quarantined: Vec<String>,
+    /// True when the commit budget killed the fleet before drain.
+    pub killed: bool,
+}
+
+struct Shared {
+    mgr: Mutex<LeaseManager>,
+    specs: Mutex<HashMap<String, JobSpec>>,
+    /// Jobs currently executing on a live worker thread — their leases
+    /// are renewed on every tick, so they cannot spuriously expire.
+    active: Mutex<HashMap<String, u64>>,
+    commits: AtomicU64,
+    expiries: AtomicU64,
+    killed: AtomicBool,
+    error: Mutex<Option<QueueError>>,
+}
+
+impl Shared {
+    fn record_events(&self, queue: &DurableQueue, events: &[LeaseEvent]) {
+        for ev in events {
+            match ev {
+                LeaseEvent::Expired { .. } => {
+                    self.expiries.fetch_add(1, Ordering::Relaxed);
+                    queue.metrics().lease_expiries.inc();
+                }
+                LeaseEvent::Quarantined { .. } => queue.metrics().jobs_quarantined.inc(),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Runs the fleet until the queue drains (or the kill budget fires).
+/// Jobs already seeded on disk are loaded first; `initial` jobs are
+/// seeded on top (idempotently). Returns the run report; quarantined
+/// jobs are reported, not silently dropped — callers decide whether a
+/// poisoned queue is fatal.
+pub fn run_workers<F>(
+    queue: &DurableQueue,
+    config: &WorkerConfig,
+    initial: &[JobSpec],
+    exec: F,
+) -> Result<RunReport, QueueError>
+where
+    F: Fn(&JobSpec) -> Result<JobOutcome, String> + Sync,
+{
+    queue.seed(initial)?;
+    let mut mgr = LeaseManager::new(config.lease);
+    let mut specs = HashMap::new();
+    let mut resumed = 0u64;
+    for (spec, status) in queue.load()? {
+        match status {
+            JobStatus::Done => {
+                mgr.insert_done(&spec.id);
+                resumed += 1;
+            }
+            JobStatus::Pending => mgr.insert(&spec.id),
+        }
+        specs.insert(spec.id.clone(), spec);
+    }
+    let shared = Shared {
+        mgr: Mutex::new(mgr),
+        specs: Mutex::new(specs),
+        active: Mutex::new(HashMap::new()),
+        commits: AtomicU64::new(0),
+        expiries: AtomicU64::new(0),
+        killed: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+
+    dhub_sync::work_crew(config.workers.max(1), |i| {
+        worker_loop(queue, config, &shared, i as u64, &exec);
+    });
+
+    if let Some(e) = shared.error.lock().take() {
+        return Err(e);
+    }
+    let mgr = shared.mgr.lock();
+    Ok(RunReport {
+        committed: shared.commits.load(Ordering::Relaxed),
+        resumed,
+        expiries: shared.expiries.load(Ordering::Relaxed),
+        quarantined: mgr.quarantined(),
+        killed: shared.killed.load(Ordering::Relaxed),
+    })
+}
+
+/// How long one idle tick lasts in wall time. Leases span
+/// `base + spread` ticks, so an abandoned job requeues after roughly
+/// that many idle iterations.
+const TICK_SLEEP: Duration = Duration::from_micros(100);
+
+fn worker_loop<F>(
+    queue: &DurableQueue,
+    config: &WorkerConfig,
+    shared: &Shared,
+    holder: u64,
+    exec: &F,
+) where
+    F: Fn(&JobSpec) -> Result<JobOutcome, String> + Sync,
+{
+    loop {
+        if shared.killed.load(Ordering::Relaxed) || shared.error.lock().is_some() {
+            return;
+        }
+        if let Some(budget) = config.max_commits {
+            if shared.commits.load(Ordering::Relaxed) >= budget {
+                shared.killed.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Claim under the manager lock; remember whether this grant
+        // follows an expiry (then the on-disk claim marker is debris we
+        // may steal).
+        let claimed = {
+            let mut mgr = shared.mgr.lock();
+            if mgr.is_drained() {
+                return;
+            }
+            let claimed = mgr.claim(holder);
+            if let Some((id, _)) = &claimed {
+                // Enter the heartbeat set before the manager lock drops:
+                // the renewal must cover the whole claim → execute →
+                // seed-children → commit → complete window, or a slow
+                // durable seed would let this live worker's lease lapse
+                // and a peer re-execute the job.
+                shared.active.lock().insert(id.clone(), holder);
+            }
+            claimed
+        };
+        let Some((id, _grant)) = claimed else {
+            // Nothing claimable: drive the clock, renew live leases.
+            let events = {
+                let mut mgr = shared.mgr.lock();
+                for (job, h) in shared.active.lock().iter() {
+                    mgr.renew(job, *h);
+                }
+                mgr.tick()
+            };
+            shared.record_events(queue, &events);
+            std::thread::sleep(TICK_SLEEP);
+            continue;
+        };
+        queue.metrics().leases_granted.inc();
+
+        // The worker "dies" holding the lease: no execution, no commit,
+        // no heartbeat — the abandoned lease expires and requeues.
+        if let Some(inj) = &config.faults {
+            if inj.decide(FaultOp::Lease, fault_key(id.as_bytes()), &[FaultKind::Drop]).is_some() {
+                queue.metrics().lease_faults.inc();
+                shared.active.lock().remove(&id);
+                continue;
+            }
+        }
+
+        match queue.claim(&id, true) {
+            Ok(ClaimOutcome::Claimed) => {}
+            Ok(ClaimOutcome::Done) => {
+                // Result already durable (e.g. a previous killed run):
+                // just mark it done.
+                shared.mgr.lock().complete(&id);
+                shared.active.lock().remove(&id);
+                continue;
+            }
+            Err(e) => {
+                shared.error.lock().get_or_insert(e);
+                return;
+            }
+        }
+
+        let spec = shared.specs.lock().get(&id).cloned().expect("claimed job has a spec");
+        let executed = exec(&spec);
+
+        match executed {
+            Ok(outcome) => {
+                // Children first, then the parent's result — see module docs.
+                if let Err(e) = queue.seed(&outcome.new_jobs) {
+                    shared.error.lock().get_or_insert(e);
+                    return;
+                }
+                {
+                    let mut specs = shared.specs.lock();
+                    let mut mgr = shared.mgr.lock();
+                    for job in &outcome.new_jobs {
+                        mgr.insert(&job.id);
+                        specs.entry(job.id.clone()).or_insert_with(|| job.clone());
+                    }
+                }
+                match queue.commit(&id, &outcome.payload) {
+                    Ok(CommitOutcome::Committed) | Ok(CommitOutcome::AlreadyDone) => {}
+                    Err(e) => {
+                        shared.error.lock().get_or_insert(e);
+                        return;
+                    }
+                }
+                shared.mgr.lock().complete(&id);
+                shared.commits.fetch_add(1, Ordering::Relaxed);
+                shared.active.lock().remove(&id);
+            }
+            Err(_msg) => {
+                // Abandon: drop out of the heartbeat set so the lease
+                // expires and the job is retried (or quarantined once
+                // its expiry budget burns out).
+                shared.active.lock().remove(&id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhub_faults::FaultConfig;
+    use dhub_persist::Publisher;
+    use std::path::PathBuf;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dhub-queue-worker-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn echo_exec(spec: &JobSpec) -> Result<JobOutcome, String> {
+        Ok(JobOutcome { payload: format!("done:{}", spec.id), new_jobs: Vec::new() })
+    }
+
+    #[test]
+    fn fleet_drains_and_results_land() {
+        let root = tmp_root("drain");
+        let q = DurableQueue::open(&root, Publisher::new()).unwrap();
+        let jobs: Vec<JobSpec> =
+            (0..20).map(|i| JobSpec::new(format!("job:{i:02}"), "t")).collect();
+        let cfg = WorkerConfig { workers: 4, ..WorkerConfig::default() };
+        let report = run_workers(&q, &cfg, &jobs, echo_exec).unwrap();
+        assert_eq!(report.committed, 20);
+        assert!(!report.killed);
+        assert!(report.quarantined.is_empty());
+        for job in &jobs {
+            assert_eq!(q.result(&job.id).unwrap().unwrap(), format!("done:{}", job.id));
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn expansion_jobs_run_in_same_drain() {
+        let root = tmp_root("expand");
+        let q = DurableQueue::open(&root, Publisher::new()).unwrap();
+        let exec = |spec: &JobSpec| -> Result<JobOutcome, String> {
+            let new_jobs = if spec.id == "root" {
+                (0..5).map(|i| JobSpec::new(format!("child:{i}"), "t")).collect()
+            } else {
+                Vec::new()
+            };
+            Ok(JobOutcome { payload: format!("done:{}", spec.id), new_jobs })
+        };
+        let cfg = WorkerConfig { workers: 3, ..WorkerConfig::default() };
+        let report = run_workers(&q, &cfg, &[JobSpec::new("root", "t")], exec).unwrap();
+        assert_eq!(report.committed, 6, "root plus five children");
+        assert!(q.result("child:4").unwrap().is_some());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn killed_fleet_resumes_without_double_commits() {
+        let root = tmp_root("kill");
+        let jobs: Vec<JobSpec> =
+            (0..12).map(|i| JobSpec::new(format!("job:{i:02}"), "t")).collect();
+        let reg = dhub_obs::MetricsRegistry::new();
+        {
+            let q = DurableQueue::open(&root, Publisher::new()).unwrap().with_metrics(&reg);
+            let cfg = WorkerConfig { workers: 4, max_commits: Some(5), ..WorkerConfig::default() };
+            let report = run_workers(&q, &cfg, &jobs, echo_exec).unwrap();
+            assert!(report.killed);
+            assert!(report.committed >= 5 && report.committed < 12);
+        }
+        let q = DurableQueue::open(&root, Publisher::new()).unwrap().with_metrics(&reg);
+        let cfg = WorkerConfig { workers: 2, ..WorkerConfig::default() };
+        let report = run_workers(&q, &cfg, &jobs, echo_exec).unwrap();
+        assert!(!report.killed);
+        assert!(report.resumed >= 5);
+        assert_eq!(report.committed + report.resumed, 12);
+        assert_eq!(reg.counter_value("dhub_queue_double_commits_total"), 0);
+        for job in &jobs {
+            assert_eq!(q.result(&job.id).unwrap().unwrap(), format!("done:{}", job.id));
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn lease_faults_retry_to_completion() {
+        let root = tmp_root("faults");
+        let reg = dhub_obs::MetricsRegistry::new();
+        let q = DurableQueue::open(&root, Publisher::new()).unwrap().with_metrics(&reg);
+        let jobs: Vec<JobSpec> =
+            (0..16).map(|i| JobSpec::new(format!("job:{i:02}"), "t")).collect();
+        let inj = Arc::new(FaultInjector::new(FaultConfig::uniform(13, 0.3)));
+        let cfg = WorkerConfig {
+            workers: 2,
+            lease: LeaseConfig { max_expiries: 10, ..LeaseConfig::default() },
+            faults: Some(inj.clone()),
+            ..WorkerConfig::default()
+        };
+        let report = run_workers(&q, &cfg, &jobs, echo_exec).unwrap();
+        assert_eq!(report.committed, 16);
+        assert!(report.quarantined.is_empty());
+        assert!(inj.stats().op(FaultOp::Lease) > 0, "30% lease faults must fire");
+        assert!(report.expiries > 0, "abandoned leases must expire");
+        assert_eq!(reg.counter_value("dhub_queue_double_commits_total"), 0);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn poison_job_is_quarantined() {
+        let root = tmp_root("poison");
+        let q = DurableQueue::open(&root, Publisher::new()).unwrap();
+        let exec = |spec: &JobSpec| -> Result<JobOutcome, String> {
+            if spec.id == "poison" {
+                Err("always fails".to_string())
+            } else {
+                echo_exec(spec)
+            }
+        };
+        let cfg = WorkerConfig {
+            workers: 2,
+            lease: LeaseConfig { base_ticks: 4, spread_ticks: 4, max_expiries: 3, seed: 0 },
+            ..WorkerConfig::default()
+        };
+        let report =
+            run_workers(&q, &cfg, &[JobSpec::new("ok", "t"), JobSpec::new("poison", "t")], exec)
+                .unwrap();
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.quarantined, vec!["poison".to_string()]);
+        assert!(q.result("ok").unwrap().is_some());
+        assert!(q.result("poison").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod carving;
 pub mod db;
+pub mod distributed;
 pub mod figures;
 pub mod latency;
 pub mod pipeline;

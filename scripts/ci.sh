@@ -17,7 +17,7 @@ cargo test -q --offline
 
 # Property tests are behind each crate's optional `proptest` feature; the
 # workspace root is virtual, so enable the feature per package.
-PROP_CRATES=(cache carve compress dedupstore digest json magic model persist registry stats tar)
+PROP_CRATES=(cache carve compress dedupstore digest json magic model persist queue registry stats tar)
 for c in "${PROP_CRATES[@]}"; do
     echo "==> prop tests: dhub-$c"
     cargo test -q --offline -p "dhub-$c" --features proptest --test props
@@ -182,6 +182,53 @@ echo "persist gate: populated store resumed instead of re-ingesting"
 rm -rf "$PERSIST_CLEAN" "$PERSIST_FAULT" "$PERSIST_OUT" "$PERSIST_OUT.q" \
     "$PERSIST_OUT.clean" "$PERSIST_OUT.fault" "$PERSIST_OUT.resume"
 
+# Queue gate: the lease-based worker fleet must produce byte-identical
+# query answers at 1 and 4 workers, and a fleet killed mid-run by its
+# --max-commits crash budget must answer queries from the half-finished
+# store (durable recipe replay) and then resume to the same bytes.
+echo "==> queue gate: dhub work fleet — 1 vs 4 workers, kill + resume"
+QUEUE_W1=$(mktemp -d /tmp/dhub-queue-w1.XXXXXX)
+QUEUE_W4=$(mktemp -d /tmp/dhub-queue-w4.XXXXXX)
+QUEUE_KILL=$(mktemp -d /tmp/dhub-queue-kill.XXXXXX)
+QUEUE_OUT=$(mktemp /tmp/dhub-queue-out.XXXXXX)
+rm -rf "$QUEUE_W1" "$QUEUE_W4" "$QUEUE_KILL"
+./target/release/dhub work --repos 25 --seed 5 --scale 1024 --workers 1 \
+    --store-dir "$QUEUE_W1" > /dev/null
+./target/release/dhub work --repos 25 --seed 5 --scale 1024 --workers 4 \
+    --store-dir "$QUEUE_W4" > /dev/null
+for q in summary dedup top-types layer-percentiles; do
+    ./target/release/dhub query "$QUEUE_W1" "$q" > "$QUEUE_OUT.w1"
+    ./target/release/dhub query "$QUEUE_W4" "$q" > "$QUEUE_OUT.w4"
+    cmp -s "$QUEUE_OUT.w1" "$QUEUE_OUT.w4" \
+        || { echo "FAIL: query '$q' diverged between 1- and 4-worker fleets" >&2; exit 1; }
+done
+echo "queue gate: 4 query outputs byte-identical across 1- and 4-worker fleets"
+# Budget 40 lands the kill mid-layer-ingest: pages + the 25 image jobs
+# commit first (under 30 together), so at least a dozen layer commits —
+# and so a partially populated store for the resume check — are
+# guaranteed before the fleet dies, whatever order workers claim in.
+./target/release/dhub work --repos 25 --seed 5 --scale 1024 --workers 4 \
+    --max-commits 40 --store-dir "$QUEUE_KILL" > "$QUEUE_OUT.kill"
+grep -q "fleet killed after" "$QUEUE_OUT.kill" \
+    || { echo "FAIL: --max-commits did not kill the fleet" >&2; exit 1; }
+./target/release/dhub query "$QUEUE_KILL" dedup > "$QUEUE_OUT.mid"
+grep -q "replaying" "$QUEUE_OUT.mid" \
+    || { echo "FAIL: mid-ingest query did not fall back to recipe replay" >&2; exit 1; }
+./target/release/dhub work --repos 25 --seed 5 --scale 1024 --workers 4 \
+    --store-dir "$QUEUE_KILL" > "$QUEUE_OUT.resume"
+grep -q "resuming store with" "$QUEUE_OUT.resume" \
+    || { echo "FAIL: rerun over the killed store did not resume" >&2; exit 1; }
+for q in summary dedup top-types layer-percentiles; do
+    ./target/release/dhub query "$QUEUE_W1" "$q" > "$QUEUE_OUT.w1"
+    ./target/release/dhub query "$QUEUE_KILL" "$q" > "$QUEUE_OUT.res"
+    cmp -s "$QUEUE_OUT.w1" "$QUEUE_OUT.res" \
+        || { echo "FAIL: query '$q' diverged after kill + resume" >&2; exit 1; }
+done
+echo "queue gate: killed fleet resumed to byte-identical query answers"
+rm -rf "$QUEUE_W1" "$QUEUE_W4" "$QUEUE_KILL" "$QUEUE_OUT" \
+    "$QUEUE_OUT.w1" "$QUEUE_OUT.w4" "$QUEUE_OUT.kill" "$QUEUE_OUT.mid" \
+    "$QUEUE_OUT.resume" "$QUEUE_OUT.res"
+
 # The obs bench must at least run (the full download comparison is the
 # recorded BENCH_obs.json; here we smoke the cheap primitives only).
 echo "==> obs bench smoke"
@@ -222,6 +269,14 @@ echo "$PERSIST_CSV" | grep -Eq "^bench_table_load_100k_rows,[0-9]+,[0-9]+,[0-9]+
     || { echo "FAIL: persist bench CSV missing bench_table_load_100k_rows" >&2; exit 1; }
 echo "$PERSIST_CSV" | grep -Eq "^bench_scan_pushdown_streq_100k,[0-9]+,[0-9]+,[0-9]+$" \
     || { echo "FAIL: persist bench CSV missing bench_scan_pushdown_streq_100k" >&2; exit 1; }
+
+# Queue bench smoke: the in-memory lease-machine micro only (the full
+# fleet scaling/overhead comparison is the recorded BENCH_queue.json).
+echo "==> queue bench smoke"
+QUEUE_CSV=$(cargo bench --offline -p dhub-bench --bench queue -- \
+    bench_lease_claim_complete_1k)
+echo "$QUEUE_CSV" | grep -Eq "^bench_lease_claim_complete_1k,[0-9]+,[0-9]+,[0-9]+$" \
+    || { echo "FAIL: queue bench CSV missing bench_lease_claim_complete_1k" >&2; exit 1; }
 
 echo "==> dependency audit"
 # No references to the removed external crates anywhere in crate sources.

@@ -722,3 +722,157 @@ fn store_killed_mid_ingest_resumes_to_identical_state() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Queue tier gates (DESIGN.md §6h): the lease-based worker fleet.
+//
+// The contract: worker count, worker kills, wire faults, durable-write
+// crashes, and lease-loss faults (a worker dying right after claiming)
+// may change *scheduling*, never the *study* — same dataset, same store
+// stats bits, byte-identical .tbl files, and no job ever
+// executed-and-committed twice.
+// ---------------------------------------------------------------------------
+
+/// One queued-study "process": opens (or resumes) the store and queue at
+/// `dir`, runs the fleet, and — when the queue drains — writes the study
+/// tables and checkpoint. `rate` drives three independent deterministic
+/// injectors from the same pinned seed: wire faults (on `hub`), durable
+/// write crashes, and lease-loss faults.
+fn queued_study(
+    hub: &SyntheticHub,
+    dir: &std::path::Path,
+    workers: usize,
+    rate: f64,
+    max_commits: Option<u64>,
+) -> (Result<StudyData, dhub_queue::QueueError>, dhub_dedupstore::StoreStats, MetricsRegistry) {
+    use dhub_dedupstore::PersistentDedupStore;
+    use dhub_persist::{Publisher, WriteFaults};
+    use dhub_queue::{DurableQueue, LeaseConfig};
+    use dhub_study::distributed::{run_study_queued_obs, QueuedStudyConfig};
+
+    let obs = MetricsRegistry::new();
+    let write_faults = (rate > 0.0).then(|| WriteFaults {
+        injector: Arc::new(FaultInjector::new(FaultConfig::uniform(FAULT_SEED, rate))),
+        policy: patient(),
+    });
+    let lease_faults =
+        (rate > 0.0).then(|| Arc::new(FaultInjector::new(FaultConfig::uniform(FAULT_SEED, rate))));
+    let publisher = Publisher::new().with_faults(write_faults);
+    let store = PersistentDedupStore::open(dir, publisher.clone()).unwrap();
+    let queue =
+        DurableQueue::open(dir.join("queue"), publisher.clone()).unwrap().with_metrics(&obs);
+    let cfg = QueuedStudyConfig {
+        workers,
+        policy: patient(),
+        // The patient analogue for leases: at 20 % lease loss a job can
+        // burn several leases back to back; give poison detection enough
+        // budget that no genuine job quarantines at the pinned seed.
+        lease: LeaseConfig { max_expiries: 12, ..LeaseConfig::default() },
+        max_commits,
+        lease_faults,
+        pace_network: false,
+    };
+    let data = run_study_queued_obs(hub, &store, &queue, &cfg, &obs);
+    if let Ok(d) = &data {
+        dhub_study::db::StudyDb::build(d, &store.mem().stats())
+            .save(&dir.join("db"), &publisher)
+            .unwrap();
+        store.checkpoint().unwrap();
+    }
+    let stats = store.mem().stats();
+    (data, stats, obs)
+}
+
+#[test]
+fn queued_fleet_matches_single_process_at_every_worker_count_and_fault_rate() {
+    use dhub_dedupstore::DedupStore;
+    use dhub_persist::Publisher;
+    use dhub_study::db::StudyDb;
+
+    // Reference: the clean single-process fused run and its tables.
+    let ref_store = DedupStore::new();
+    let obs = MetricsRegistry::new();
+    let clean =
+        dhub_study::pipeline::run_study_store_obs(&hub(), THREADS, &patient(), &ref_store, &obs);
+    let ref_stats = ref_store.stats();
+    let ref_dir = chaos_tmp("queue-ref");
+    StudyDb::build(&clean, &ref_stats).save(&ref_dir.join("db"), &Publisher::new()).unwrap();
+
+    for (workers, rate) in [(1, 0.0), (2, 0.0), (8, 0.0), (4, 0.05), (4, 0.20)] {
+        let dir = chaos_tmp(&format!("queue-w{workers}-r{}", (rate * 100.0) as u32));
+        let (data, stats, obs) = queued_study(&faulted_hub(rate), &dir, workers, rate, None);
+        let data = data.unwrap_or_else(|e| panic!("workers={workers} rate={rate}: {e}"));
+
+        assert_same_dataset(&data, &clean);
+        assert_eq!(stats, ref_stats, "store stats diverged at workers={workers} rate={rate}");
+        assert_eq!(
+            stats.dedup_factor().to_bits(),
+            ref_stats.dedup_factor().to_bits(),
+            "dedup factor must be bit-identical at workers={workers} rate={rate}"
+        );
+        assert_eq!(
+            dir_contents(&dir.join("db")),
+            dir_contents(&ref_dir.join("db")),
+            ".tbl files diverged at workers={workers} rate={rate}"
+        );
+        assert_eq!(
+            obs.counter_value("dhub_queue_double_commits_total"),
+            0,
+            "a job was executed-and-committed twice at workers={workers} rate={rate}"
+        );
+        if rate >= 0.20 {
+            assert!(
+                obs.counter_value("dhub_queue_lease_faults_total") > 0,
+                "20 % lease faults must actually fire"
+            );
+            assert!(
+                obs.counter_value("dhub_queue_lease_expiries_total") > 0,
+                "abandoned claims must expire and requeue"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+#[test]
+fn queued_fleet_killed_mid_run_resumes_to_identical_state() {
+    use dhub_dedupstore::DedupStore;
+    use dhub_persist::Publisher;
+    use dhub_study::db::StudyDb;
+
+    let ref_store = DedupStore::new();
+    let obs = MetricsRegistry::new();
+    let clean =
+        dhub_study::pipeline::run_study_store_obs(&hub(), THREADS, &patient(), &ref_store, &obs);
+    let ref_stats = ref_store.stats();
+    let ref_dir = chaos_tmp("queue-kill-ref");
+    StudyDb::build(&clean, &ref_stats).save(&ref_dir.join("db"), &Publisher::new()).unwrap();
+
+    // One hub across all three "processes": each job executes exactly once
+    // over the whole kill/resume sequence, so even the live pull counters
+    // end up exactly where the never-killed run's do.
+    let src = hub();
+    let dir = chaos_tmp("queue-kill");
+
+    // Process one: killed 10 commits in. Process two: resumes with a
+    // different worker count, killed again. Process three: drains.
+    let (r1, _, _) = queued_study(&src, &dir, 2, 0.0, Some(10));
+    assert!(matches!(r1, Err(dhub_queue::QueueError::Killed)), "kill one did not fire");
+    let (r2, _, _) = queued_study(&src, &dir, 4, 0.0, Some(25));
+    assert!(matches!(r2, Err(dhub_queue::QueueError::Killed)), "kill two did not fire");
+    let (r3, stats, obs) = queued_study(&src, &dir, 4, 0.0, None);
+    let data = r3.unwrap();
+
+    assert_same_dataset(&data, &clean);
+    assert_eq!(stats, ref_stats, "resumed store stats diverged from the never-killed run");
+    assert_eq!(stats.dedup_factor().to_bits(), ref_stats.dedup_factor().to_bits());
+    assert_eq!(
+        dir_contents(&dir.join("db")),
+        dir_contents(&ref_dir.join("db")),
+        ".tbl files diverged after two kills and a resume"
+    );
+    assert_eq!(obs.counter_value("dhub_queue_double_commits_total"), 0);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
